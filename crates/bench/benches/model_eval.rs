@@ -1,0 +1,188 @@
+//! Criterion benchmarks of the analytical model behind each figure:
+//! how fast one design-space point evaluates (the quantity that
+//! matters when the optimizer sweeps thousands of configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lognic_devices::liquidio::{Accelerator, LiquidIo};
+use lognic_model::units::{Bandwidth, Bytes};
+use lognic_optimizer::suggest;
+use lognic_workloads::{inline_accel, microservices, nf_placement, nvmeof, panic_scenarios};
+
+fn fig05_granularity(c: &mut Criterion) {
+    c.bench_function("fig05_granularity_model", |b| {
+        b.iter(|| {
+            for g in inline_accel::GRANULARITIES {
+                let s = inline_accel::granularity(Accelerator::Md5, Bytes::new(g));
+                black_box(s.estimator().throughput().unwrap().attainable());
+            }
+        })
+    });
+}
+
+fn fig09_parallelism(c: &mut Criterion) {
+    c.bench_function("fig09_parallelism_model", |b| {
+        b.iter(|| {
+            for cores in 1..=LiquidIo::CORES {
+                let s = inline_accel::inline(
+                    Accelerator::Md5,
+                    cores,
+                    Bytes::new(1500),
+                    LiquidIo::line_rate(),
+                );
+                black_box(s.estimator().throughput().unwrap().attainable());
+            }
+        })
+    });
+}
+
+fn fig10_pktsize(c: &mut Criterion) {
+    c.bench_function("fig10_pktsize_model", |b| {
+        b.iter(|| {
+            for size in inline_accel::PACKET_SIZES {
+                let s = inline_accel::inline(
+                    Accelerator::Aes,
+                    LiquidIo::CORES,
+                    Bytes::new(size),
+                    LiquidIo::line_rate(),
+                );
+                black_box(s.estimator().throughput().unwrap().attainable());
+            }
+        })
+    });
+}
+
+fn fig06_nvmeof_latency(c: &mut Criterion) {
+    use lognic_devices::stingray::IoPattern;
+    c.bench_function("fig06_nvmeof_latency_model", |b| {
+        b.iter(|| {
+            let s = nvmeof::nvmeof(
+                IoPattern::RandRead4k,
+                nvmeof::rate_for_iops(IoPattern::RandRead4k, 400_000.0),
+            );
+            black_box(s.estimator().latency().unwrap().mean());
+        })
+    });
+}
+
+fn fig07_mixed_rw(c: &mut Criterion) {
+    use lognic_devices::stingray::IoPattern;
+    c.bench_function("fig07_mixed_rw_model", |b| {
+        b.iter(|| {
+            for pct in (0..=100).step_by(20) {
+                let p = IoPattern::MixedRand4k {
+                    read_ratio: pct as f64 / 100.0,
+                };
+                let s = nvmeof::nvmeof(p, nvmeof::rate_for_iops(p, 500_000.0));
+                black_box(s.estimate().unwrap().delivered);
+            }
+        })
+    });
+}
+
+fn fig11_12_allocation(c: &mut Criterion) {
+    c.bench_function("fig11_e3_throughput_model", |b| {
+        b.iter(|| {
+            for app in microservices::App::ALL {
+                for scheme in microservices::AllocationScheme::ALL {
+                    black_box(microservices::capacity(app, scheme));
+                }
+            }
+        })
+    });
+    c.bench_function("fig12_e3_latency_model", |b| {
+        b.iter(|| {
+            let s = microservices::scenario(
+                microservices::App::NfvDin,
+                microservices::AllocationScheme::LogNicOpt,
+                1e6,
+            );
+            black_box(s.estimator().latency().unwrap().mean());
+        })
+    });
+}
+
+fn fig13_14_placement(c: &mut Criterion) {
+    c.bench_function("fig13_placement_tput_model", |b| {
+        b.iter(|| {
+            black_box(nf_placement::optimal_for(Bytes::new(512)));
+        })
+    });
+    c.bench_function("fig14_placement_lat_model", |b| {
+        b.iter(|| {
+            let s = nf_placement::scenario(
+                nf_placement::Placement::accel_only(),
+                Bytes::new(1500),
+                Bandwidth::gbps(60.0),
+            );
+            black_box(s.estimator().latency().unwrap().mean());
+        })
+    });
+}
+
+fn fig15_credits(c: &mut Criterion) {
+    c.bench_function("fig15_credits_suggest", |b| {
+        b.iter(|| {
+            black_box(suggest::suggest_credits(
+                panic_scenarios::CREDIT_PROFILES[0],
+                Bandwidth::gbps(100.0),
+            ));
+        })
+    });
+}
+
+fn fig16_17_steering(c: &mut Criterion) {
+    c.bench_function("fig16_steering_lat_model", |b| {
+        b.iter(|| {
+            for x in panic_scenarios::STATIC_SPLITS {
+                let s = panic_scenarios::steering(x, Bytes::new(512), Bandwidth::gbps(80.0));
+                black_box(s.estimator().latency().unwrap().mean());
+            }
+        })
+    });
+    c.bench_function("fig17_steering_suggest", |b| {
+        b.iter(|| {
+            black_box(suggest::suggest_steering_split(
+                Bytes::new(512),
+                Bandwidth::gbps(80.0),
+            ));
+        })
+    });
+}
+
+fn fig18_19_parallelism(c: &mut Criterion) {
+    c.bench_function("fig18_parallel_lat_model", |b| {
+        b.iter(|| {
+            for d in 1..=8 {
+                let s = panic_scenarios::hybrid(d, 0.5, Bytes::new(1024), Bandwidth::gbps(80.0));
+                black_box(s.estimator().latency().unwrap().mean());
+            }
+        })
+    });
+    c.bench_function("fig19_parallel_tput_suggest", |b| {
+        b.iter(|| {
+            black_box(suggest::suggest_ip4_degree(
+                0.5,
+                Bytes::new(1024),
+                Bandwidth::gbps(80.0),
+            ));
+        })
+    });
+}
+
+criterion_group!(
+    name = model_eval;
+    config = Criterion::default().sample_size(20);
+    targets = fig05_granularity,
+        fig09_parallelism,
+        fig10_pktsize,
+        fig06_nvmeof_latency,
+        fig07_mixed_rw,
+        fig11_12_allocation,
+        fig13_14_placement,
+        fig15_credits,
+        fig16_17_steering,
+        fig18_19_parallelism
+);
+criterion_main!(model_eval);

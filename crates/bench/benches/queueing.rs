@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the queueing kernels (Eq. 9–12 and the
+//! M/M/c/N generalization) — the model's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lognic_model::queueing::{Mm1n, MmcN};
+use lognic_model::units::Seconds;
+
+fn mm1n_kernel(c: &mut Criterion) {
+    c.bench_function("mm1n_queueing_factor", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..100 {
+                let rho = i as f64 * 0.02;
+                acc += Mm1n::new(rho, 64).unwrap().queueing_factor();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn mmcn_kernel(c: &mut Criterion) {
+    c.bench_function("mmcn_queueing_delay_c64_n256", |b| {
+        let s = Seconds::micros(100.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 1..20 {
+                let rho = i as f64 * 0.05;
+                acc += MmcN::new(rho, 64, 256).unwrap().queueing_delay(s).as_secs();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(queueing, mm1n_kernel, mmcn_kernel);
+criterion_main!(queueing);

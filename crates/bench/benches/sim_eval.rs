@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the discrete-event simulator: events per
+//! second of wall time on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lognic_devices::liquidio::{Accelerator, LiquidIo};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+use lognic_sim::sim::SimConfig;
+use lognic_workloads::{inline_accel, microservices, panic_scenarios};
+
+fn short_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        duration: Seconds::millis(2.0),
+        warmup: Seconds::micros(400.0),
+        ..SimConfig::default()
+    }
+}
+
+fn sim_inline_chain(c: &mut Criterion) {
+    let s = inline_accel::inline(Accelerator::Md5, 9, Bytes::new(1500), LiquidIo::line_rate());
+    c.bench_function("sim_inline_md5_2ms", |b| {
+        b.iter(|| black_box(s.simulate(short_cfg(3))))
+    });
+}
+
+fn sim_microservice_pipeline(c: &mut Criterion) {
+    let s = microservices::scenario(
+        microservices::App::NfvDin,
+        microservices::AllocationScheme::LogNicOpt,
+        0.8 * microservices::capacity(
+            microservices::App::NfvDin,
+            microservices::AllocationScheme::LogNicOpt,
+        ),
+    );
+    c.bench_function("sim_e3_pipeline_2ms", |b| {
+        b.iter(|| black_box(s.simulate(short_cfg(5))))
+    });
+}
+
+fn sim_panic_hybrid(c: &mut Criterion) {
+    let s = panic_scenarios::hybrid(6, 0.5, Bytes::new(1024), Bandwidth::gbps(80.0));
+    c.bench_function("sim_panic_hybrid_2ms", |b| {
+        b.iter(|| black_box(s.simulate(short_cfg(7))))
+    });
+}
+
+criterion_group!(
+    name = sim_eval;
+    config = Criterion::default().sample_size(10);
+    targets = sim_inline_chain, sim_microservice_pipeline, sim_panic_hybrid
+);
+criterion_main!(sim_eval);

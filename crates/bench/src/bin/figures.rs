@@ -1,0 +1,60 @@
+//! Regenerates the paper's evaluation figures as plain-text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--quick] all
+//! figures [--quick] fig5 fig9 fig15
+//! figures list
+//! ```
+
+use lognic_bench::{ablation_ids, all_figure_ids, generate, Fidelity};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fidelity = if let Some(pos) = args.iter().position(|a| a == "--quick") {
+        args.remove(pos);
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    };
+
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: figures [--quick] (all | ablations | list | <fig-id>...)");
+        eprintln!("figures: {}", all_figure_ids().join(" "));
+        eprintln!("ablations: {}", ablation_ids().join(" "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args[0] == "list" {
+        for id in all_figure_ids().into_iter().chain(ablation_ids()) {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args[0] == "all" {
+        all_figure_ids()
+    } else if args[0] == "ablations" {
+        ablation_ids()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut failed = false;
+    for id in ids {
+        let start = std::time::Instant::now();
+        match generate(id, fidelity) {
+            Some(table) => {
+                println!("{table}");
+                eprintln!("[{} done in {:.1}s]", id, start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown figure `{id}` (try `figures list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Figures 11 and 12: E3 microservice core allocation.
+
+use crate::sim_cfg;
+use crate::table::{Fidelity, FigureTable};
+use lognic_workloads::microservices::{capacity, scenario, AllocationScheme, App};
+
+/// At 85 % of the LogNIC-opt capacity — the paper's "80% traffic
+/// load" point, where the weaker allocations saturate.
+fn offered(app: App) -> f64 {
+    0.85 * capacity(app, AllocationScheme::LogNicOpt)
+}
+
+/// Fig. 11: throughput of the three allocation schemes across five
+/// applications.
+pub fn fig11(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig11",
+        "Throughput comparison among three allocation schemes (85% load)",
+        &["app", "scheme", "sim Mrps", "model Mrps"],
+    );
+    let mut gains_rr = Vec::new();
+    let mut gains_eq = Vec::new();
+    for app in App::ALL {
+        let rps = offered(app);
+        let mut per_scheme = Vec::new();
+        for scheme in AllocationScheme::ALL {
+            let s = scenario(app, scheme, rps);
+            let sim = s.simulate(sim_cfg(f, 80.0, 37));
+            let model = s.estimate().expect("valid").delivered;
+            let req_bits = 512.0 * 8.0;
+            per_scheme.push(sim.throughput.as_bps() / req_bits);
+            t.row([
+                app.name().to_owned(),
+                scheme.name().to_owned(),
+                format!("{:.3}", sim.throughput.as_bps() / req_bits / 1e6),
+                format!("{:.3}", model.as_bps() / req_bits / 1e6),
+            ]);
+        }
+        gains_rr.push(per_scheme[2] / per_scheme[0] - 1.0);
+        gains_eq.push(per_scheme[2] / per_scheme[1] - 1.0);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    t.note(format!(
+        "LogNIC-opt throughput gain: {:.1}% vs round-robin, {:.1}% vs equal-partition (paper: 34.8% / 36.4%)",
+        mean(&gains_rr),
+        mean(&gains_eq)
+    ));
+    t
+}
+
+/// Fig. 12: average latency of the three allocation schemes.
+pub fn fig12(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig12",
+        "Average latency comparison among three allocation schemes (85% load)",
+        &["app", "scheme", "sim us", "model us"],
+    );
+    let mut savings_rr = Vec::new();
+    let mut savings_eq = Vec::new();
+    for app in App::ALL {
+        let rps = offered(app);
+        let mut per_scheme = Vec::new();
+        for scheme in AllocationScheme::ALL {
+            let s = scenario(app, scheme, rps);
+            let sim = s.simulate(sim_cfg(f, 80.0, 41));
+            let model = s.estimator().latency().expect("valid").mean();
+            per_scheme.push(sim.latency.mean.as_secs());
+            t.row([
+                app.name().to_owned(),
+                scheme.name().to_owned(),
+                format!("{:.2}", sim.latency.mean.as_micros()),
+                format!("{:.2}", model.as_micros()),
+            ]);
+        }
+        savings_rr.push(1.0 - per_scheme[2] / per_scheme[0]);
+        savings_eq.push(1.0 - per_scheme[2] / per_scheme[1]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    t.note(format!(
+        "LogNIC-opt latency saving: {:.1}% vs round-robin, {:.1}% vs equal-partition (paper: 22.4% / 22.8%)",
+        mean(&savings_rr),
+        mean(&savings_eq)
+    ));
+    t
+}

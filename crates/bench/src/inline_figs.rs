@@ -1,0 +1,132 @@
+//! Figures 5, 9 and 10: inline acceleration on the LiquidIO-II.
+
+use crate::sim_cfg;
+use crate::table::{pct_err, Fidelity, FigureTable};
+use lognic_devices::liquidio::LiquidIo;
+use lognic_model::units::Bytes;
+use lognic_workloads::inline_accel::{
+    granularity, inline, roofline_ops, FIG10_ACCELS, FIG5_ACCELS, FIG9_ACCELS, GRANULARITIES,
+    PACKET_SIZES,
+};
+
+/// Fig. 5: accelerator throughput (MOPS) vs data-access granularity.
+pub fn fig05(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig5",
+        "Accelerator throughput varied with its data access granularity",
+        &[
+            "granularity",
+            "engine",
+            "model MOPS",
+            "sim MOPS",
+            "model err",
+        ],
+    );
+    let mut worst: f64 = 0.0;
+    for accel in FIG5_ACCELS {
+        for g in GRANULARITIES {
+            let g = Bytes::new(g);
+            let s = granularity(accel, g);
+            let model_ops = s
+                .estimator()
+                .throughput()
+                .expect("valid")
+                .attainable()
+                .as_bps()
+                / g.bits() as f64;
+            let sim = s.simulate(sim_cfg(f, 60.0, 11));
+            let sim_ops = sim.throughput.as_bps() / g.bits() as f64;
+            worst = worst.max((model_ops - sim_ops).abs() / sim_ops.max(1.0));
+            t.row([
+                g.to_string(),
+                accel.name().to_owned(),
+                format!("{:.3}", model_ops / 1e6),
+                format!("{:.3}", sim_ops / 1e6),
+                pct_err(model_ops, sim_ops),
+            ]);
+        }
+    }
+    let frac_at_16k = |a| {
+        let r = roofline_ops(a, Bytes::kib(16)) / LiquidIo::accelerator(a).peak_ops.as_per_sec();
+        format!("{:.1}%", 100.0 * r)
+    };
+    t.note(format!(
+        "paper anchor: fraction of peak at 16KB = CRC {} / 3DES {} / MD5 {} / HFA {} (paper: 13.6/17.3/21.2/25.8%)",
+        frac_at_16k(lognic_devices::liquidio::Accelerator::Crc),
+        frac_at_16k(lognic_devices::liquidio::Accelerator::Des3),
+        frac_at_16k(lognic_devices::liquidio::Accelerator::Md5),
+        frac_at_16k(lognic_devices::liquidio::Accelerator::Hfa),
+    ));
+    t.note(format!(
+        "worst model-vs-sim error across the sweep: {:.2}%",
+        worst * 100.0
+    ));
+    t
+}
+
+/// Fig. 9: throughput vs IP1 (NIC core) parallelism at line rate.
+pub fn fig09(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig9",
+        "Throughput varied with the IP1 parallelism under line rate (MTU)",
+        &["cores", "engine", "model MOPS", "sim MOPS", "model err"],
+    );
+    let mtu = Bytes::new(1500);
+    for accel in FIG9_ACCELS {
+        for cores in 1..=LiquidIo::CORES {
+            let s = inline(accel, cores, mtu, LiquidIo::line_rate());
+            let model = s.estimator().throughput().expect("valid").attainable();
+            let sim = s.simulate(sim_cfg(f, 40.0, 13 + cores as u64));
+            let to_mops = |bps: f64| bps / (mtu.bits() as f64) / 1e6;
+            t.row([
+                cores.to_string(),
+                accel.name().to_owned(),
+                format!("{:.3}", to_mops(model.as_bps())),
+                format!("{:.3}", to_mops(sim.throughput.as_bps())),
+                pct_err(model.as_bps(), sim.throughput.as_bps()),
+            ]);
+        }
+    }
+    t.note(format!(
+        "saturation cores: MD5 {} / KASUMI {} / HFA {} (paper: 9/8/11)",
+        LiquidIo::cores_to_saturate(lognic_devices::liquidio::Accelerator::Md5, mtu),
+        LiquidIo::cores_to_saturate(lognic_devices::liquidio::Accelerator::Kasumi, mtu),
+        LiquidIo::cores_to_saturate(lognic_devices::liquidio::Accelerator::Hfa, mtu),
+    ));
+    t
+}
+
+/// Fig. 10: achieved bandwidth vs packet size at line rate.
+pub fn fig10(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig10",
+        "Achieved bandwidth varied with the packet size under line rate",
+        &[
+            "pktsize",
+            "engine",
+            "model Gbps",
+            "sim Gbps",
+            "min-formula Gbps",
+        ],
+    );
+    for accel in FIG10_ACCELS {
+        for size in PACKET_SIZES {
+            let size = Bytes::new(size);
+            let s = inline(accel, LiquidIo::CORES, size, LiquidIo::line_rate());
+            let model = s.estimator().throughput().expect("valid").attainable();
+            let sim = s.simulate(sim_cfg(f, 40.0, 17));
+            let formula = LiquidIo::accelerator(accel)
+                .compute_rate(size)
+                .min(LiquidIo::line_rate());
+            t.row([
+                size.to_string(),
+                accel.name().to_owned(),
+                format!("{:.2}", model.as_gbps()),
+                format!("{:.2}", sim.throughput.as_gbps()),
+                format!("{:.2}", formula.as_gbps()),
+            ]);
+        }
+    }
+    t.note("achieved bandwidth ≈ MIN(P_IP2 × pktsize, 25 Gbps), as in the paper".to_owned());
+    t
+}

@@ -1,0 +1,93 @@
+//! Figures 13 and 14: network-function placement on the BlueField-2.
+
+use crate::sim_cfg;
+use crate::table::{Fidelity, FigureTable};
+use lognic_model::units::{Bandwidth, Bytes};
+use lognic_workloads::nf_placement::{capacity, optimal_for, scenario, Placement};
+
+const SIZES: [u64; 6] = [64, 128, 256, 512, 1024, 1500];
+
+fn strategies(size: Bytes) -> [(&'static str, Placement); 3] {
+    [
+        ("ARM-only", Placement::arm_only()),
+        ("Accelerator-only", Placement::accel_only()),
+        ("LogNIC-opt", optimal_for(size)),
+    ]
+}
+
+/// Fig. 13: throughput vs packet size for the three placements.
+pub fn fig13(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig13",
+        "Throughput varied with the packet size among three placements",
+        &["pktsize", "strategy", "model Gbps", "sim Gbps"],
+    );
+    let mut gain_arm = Vec::new();
+    let mut gain_acc = Vec::new();
+    for size in SIZES {
+        let size = Bytes::new(size);
+        let mut caps = Vec::new();
+        for (label, placement) in strategies(size) {
+            let cap = capacity(placement, size);
+            let s = scenario(placement, size, Bandwidth::gbps(100.0));
+            let sim = s.simulate(sim_cfg(f, 30.0, 43));
+            caps.push(cap.as_bps());
+            t.row([
+                size.to_string(),
+                label.to_owned(),
+                format!("{:.2}", cap.as_gbps()),
+                format!("{:.2}", sim.throughput.as_gbps()),
+            ]);
+        }
+        gain_arm.push(caps[2] / caps[0] - 1.0);
+        gain_acc.push(caps[2] / caps[1] - 1.0);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    t.note(format!(
+        "LogNIC-opt throughput gain: {:.1}% vs ARM-only, {:.1}% vs Accelerator-only (paper: 81.9% / 21.7%)",
+        mean(&gain_arm),
+        mean(&gain_acc)
+    ));
+    t
+}
+
+/// Fig. 14: average latency vs packet size for the three placements,
+/// measured at 60 % of each size's best capacity (a common offered
+/// rate below every strategy's saturation would starve the comparison
+/// at 64 B).
+pub fn fig14(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig14",
+        "Latency comparison varying the packet size from 64B to 1500B",
+        &["pktsize", "strategy", "model us", "sim us"],
+    );
+    let mut save_arm = Vec::new();
+    let mut save_acc = Vec::new();
+    for size in SIZES {
+        let size = Bytes::new(size);
+        let best = capacity(optimal_for(size), size);
+        let rate = best * 0.6;
+        let mut lats = Vec::new();
+        for (label, placement) in strategies(size) {
+            let s = scenario(placement, size, rate);
+            let model = s.estimator().latency().expect("valid").mean();
+            let sim = s.simulate(sim_cfg(f, 30.0, 47));
+            lats.push(sim.latency.mean.as_secs());
+            t.row([
+                size.to_string(),
+                label.to_owned(),
+                format!("{:.2}", model.as_micros()),
+                format!("{:.2}", sim.latency.mean.as_micros()),
+            ]);
+        }
+        save_arm.push(1.0 - lats[2] / lats[0]);
+        save_acc.push(1.0 - lats[2] / lats[1]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 * 100.0;
+    t.note(format!(
+        "LogNIC-opt latency saving: {:.1}% vs ARM-only, {:.1}% vs Accelerator-only (paper: 37.9% / 27.3%)",
+        mean(&save_arm),
+        mean(&save_acc)
+    ));
+    t
+}

@@ -1,0 +1,180 @@
+//! Figures 15–19: PANIC hardware design-space exploration.
+
+use crate::sim_cfg;
+use crate::table::{Fidelity, FigureTable};
+use lognic_model::units::{Bandwidth, Bytes};
+use lognic_optimizer::suggest::{suggest_credits, suggest_ip4_degree, suggest_steering_split};
+use lognic_workloads::panic_scenarios::{
+    hybrid, lognic_steering_split, pipelined_chain, steering, CREDIT_PROFILES, HYBRID_SPLITS,
+    STATIC_SPLITS,
+};
+
+/// Fig. 15: delivered bandwidth vs provisioned credits for four mixed
+/// traffic profiles.
+pub fn fig15(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig15",
+        "Measured bandwidth varied with the number of provisioned credits",
+        &["credits", "profile", "sim Gbps", "model Gbps"],
+    );
+    let rate = Bandwidth::gbps(100.0);
+    for (i, sizes) in CREDIT_PROFILES.iter().enumerate() {
+        for credits in 1..=8u32 {
+            let s = pipelined_chain(credits, sizes, rate);
+            let model = s.estimate().expect("valid").delivered;
+            let sim = s.simulate(sim_cfg(f, 8.0, 53 + credits as u64));
+            t.row([
+                credits.to_string(),
+                format!("TP{}", i + 1),
+                format!("{:.2}", sim.throughput.as_gbps()),
+                format!("{:.2}", model.as_gbps()),
+            ]);
+        }
+    }
+    let suggestions: Vec<String> = CREDIT_PROFILES
+        .iter()
+        .map(|sizes| suggest_credits(sizes, rate).to_string())
+        .collect();
+    t.note(format!(
+        "LogNIC credit suggestions per profile: {} (paper: 5/4/4/4)",
+        suggestions.join("/")
+    ));
+    t
+}
+
+const STEERING_SIZES: [(u64, &str); 3] = [(64, "TP1(64B)"), (512, "TP2(512B)"), (1500, "TP3(MTU)")];
+
+fn steering_schemes(size: Bytes, rate: Bandwidth) -> Vec<(String, f64)> {
+    let mut v: Vec<(String, f64)> = STATIC_SPLITS
+        .iter()
+        .map(|x| {
+            (
+                format!("{}/{}", (x * 100.0) as u32, ((0.8 - x) * 100.0) as u32),
+                *x,
+            )
+        })
+        .collect();
+    let suggested = suggest_steering_split(size, rate);
+    v.push(("LogNIC".to_owned(), suggested));
+    v
+}
+
+/// Fig. 16: latency of the static partitions vs the LogNIC split.
+pub fn fig16(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig16",
+        "Latency comparison among static and LogNIC suggested partitions",
+        &["profile", "partition", "sim us", "model us"],
+    );
+    let rate = Bandwidth::gbps(80.0);
+    for (size, label) in STEERING_SIZES {
+        let size = Bytes::new(size);
+        for (name, x) in steering_schemes(size, rate) {
+            let s = steering(x, size, rate);
+            let model = s.estimator().latency().expect("valid").mean();
+            let sim = s.simulate(sim_cfg(f, 8.0, 59));
+            t.row([
+                label.to_owned(),
+                name,
+                format!("{:.2}", sim.latency.mean.as_micros()),
+                format!("{:.2}", model.as_micros()),
+            ]);
+        }
+    }
+    t.note(format!(
+        "LogNIC split steers {:.0}%/{:.0}% across A2/A3, proportional to the 7:3 capacities",
+        lognic_steering_split() * 100.0,
+        (0.8 - lognic_steering_split()) * 100.0
+    ));
+    t
+}
+
+/// Fig. 17: throughput of the static partitions vs the LogNIC split.
+pub fn fig17(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig17",
+        "Throughput comparison among four static traffic partitions",
+        &["profile", "partition", "sim Gbps", "model Gbps"],
+    );
+    let rate = Bandwidth::gbps(80.0);
+    for (size, label) in STEERING_SIZES {
+        let size = Bytes::new(size);
+        let mut tputs = Vec::new();
+        for (name, x) in steering_schemes(size, rate) {
+            let s = steering(x, size, rate);
+            let model = s.estimate().expect("valid").delivered;
+            let sim = s.simulate(sim_cfg(f, 8.0, 61));
+            tputs.push(sim.throughput.as_bps());
+            t.row([
+                label.to_owned(),
+                name,
+                format!("{:.2}", sim.throughput.as_gbps()),
+                format!("{:.2}", model.as_gbps()),
+            ]);
+        }
+        let ours = tputs[4];
+        let gains: Vec<String> = tputs[..4]
+            .iter()
+            .map(|s| format!("{:+.1}%", (ours / s - 1.0) * 100.0))
+            .collect();
+        t.note(format!("{label}: LogNIC vs statics {}", gains.join(" / ")));
+    }
+    t
+}
+
+/// Fig. 18: latency vs the IP4 parallel degree for two traffic
+/// profiles.
+pub fn fig18(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig18",
+        "Latency varying the parallel degree for two traffic profiles",
+        &["degree", "profile", "sim us", "model us"],
+    );
+    let rate = Bandwidth::gbps(80.0);
+    let size = Bytes::new(1024);
+    for (i, share) in HYBRID_SPLITS.iter().enumerate() {
+        for degree in 1..=8u32 {
+            let s = hybrid(degree, *share, size, rate);
+            let model = s.estimator().latency().expect("valid").mean();
+            let sim = s.simulate(sim_cfg(f, 8.0, 67 + degree as u64));
+            t.row([
+                degree.to_string(),
+                format!("TP{}", i + 1),
+                format!("{:.2}", sim.latency.mean.as_micros()),
+                format!("{:.2}", model.as_micros()),
+            ]);
+        }
+    }
+    t.note(format!(
+        "LogNIC degree suggestions: TP1 {} / TP2 {} (paper: 6 / 4)",
+        suggest_ip4_degree(HYBRID_SPLITS[0], size, rate),
+        suggest_ip4_degree(HYBRID_SPLITS[1], size, rate)
+    ));
+    t
+}
+
+/// Fig. 19: throughput vs the IP4 parallel degree.
+pub fn fig19(f: Fidelity) -> FigureTable {
+    let mut t = FigureTable::new(
+        "fig19",
+        "Throughput varying the parallel degree for two traffic profiles",
+        &["degree", "profile", "sim Gbps", "model Gbps"],
+    );
+    let rate = Bandwidth::gbps(80.0);
+    let size = Bytes::new(1024);
+    for (i, share) in HYBRID_SPLITS.iter().enumerate() {
+        for degree in 1..=8u32 {
+            let s = hybrid(degree, *share, size, rate);
+            let model = s.estimate().expect("valid").delivered;
+            let sim = s.simulate(sim_cfg(f, 8.0, 71 + degree as u64));
+            t.row([
+                degree.to_string(),
+                format!("TP{}", i + 1),
+                format!("{:.2}", sim.throughput.as_gbps()),
+                format!("{:.2}", model.as_gbps()),
+            ]);
+        }
+    }
+    t.note("throughput saturates at the suggested degree; more engines buy nothing".to_owned());
+    t
+}

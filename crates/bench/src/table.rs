@@ -1,0 +1,158 @@
+//! Plain-text figure tables: the same rows/series the paper plots.
+
+use std::fmt;
+
+/// How long to run the backing simulations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Short runs for smoke tests and CI.
+    Quick,
+    /// The full measurement runs used in EXPERIMENTS.md.
+    #[default]
+    Full,
+}
+
+impl Fidelity {
+    /// Scales a full-fidelity duration (milliseconds) down for quick
+    /// runs.
+    pub fn millis(self, full_ms: f64) -> f64 {
+        match self {
+            Fidelity::Quick => (full_ms / 8.0).max(5.0),
+            Fidelity::Full => full_ms,
+        }
+    }
+}
+
+/// One regenerated figure: a header, data rows and free-form notes
+/// (the paper-anchor comparison lives in the notes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Figure identifier (`"fig5"`, …).
+    pub id: &'static str,
+    /// Human title echoing the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows, one cell per column.
+    pub rows: Vec<Vec<String>>,
+    /// Summary notes: anchors, suggestions, error statistics.
+    pub notes: Vec<String>,
+}
+
+impl FigureTable {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: &str, columns: &[&str]) -> Self {
+        FigureTable {
+            id,
+            title: title.to_owned(),
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+impl fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} — {}", self.id, self.title)?;
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain(std::iter::once(c.len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut header = String::new();
+        for (c, w) in self.columns.iter().zip(&widths) {
+            header.push_str(&format!("{c:>w$}  "));
+        }
+        writeln!(f, "{}", header.trim_end())?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("{cell:>w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        for n in &self.notes {
+            writeln!(f, "## {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `|a − b| / b` as a percentage string.
+pub fn pct_err(predicted: f64, measured: f64) -> String {
+    if measured == 0.0 {
+        return "n/a".to_owned();
+    }
+    format!("{:.2}%", 100.0 * (predicted - measured).abs() / measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = FigureTable::new("figX", "demo", &["a", "value"]);
+        t.row(["1", "10.5"]);
+        t.row(["22", "3"]);
+        t.note("anchor ok");
+        let s = t.to_string();
+        assert!(s.contains("# figX — demo"));
+        assert!(s.contains("## anchor ok"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn row_arity_checked() {
+        let mut t = FigureTable::new("figX", "demo", &["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn pct_err_formats() {
+        assert_eq!(pct_err(11.0, 10.0), "10.00%");
+        assert_eq!(pct_err(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn fidelity_scaling() {
+        assert_eq!(Fidelity::Full.millis(100.0), 100.0);
+        assert_eq!(Fidelity::Quick.millis(100.0), 12.5);
+        assert_eq!(Fidelity::Quick.millis(10.0), 5.0, "floor at 5 ms");
+    }
+}

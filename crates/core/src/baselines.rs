@@ -1,0 +1,237 @@
+//! The prior architectural models of Table 1, implemented as
+//! baselines: the classic Roofline and LogCA.
+//!
+//! §2.4 of the paper argues these cannot capture SmartNIC execution —
+//! one is traffic-agnostic, the other models a single offload kernel
+//! with fixed input. Implementing them makes that argument
+//! quantitative: the `figures ablations`/`baseline` harness runs all
+//! three against the simulator on the inline-acceleration case study,
+//! where the baselines miss the packet-size dependence and the
+//! multi-kernel pipeline structure that LogNIC models.
+
+use crate::units::{Bandwidth, Bytes, Seconds};
+
+/// The classic Roofline model (Williams et al., CACM '09): attainable
+/// performance of a kernel on a processor is
+/// `min(peak, bandwidth × operational intensity)`.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::baselines::Roofline;
+/// use lognic_model::units::Bandwidth;
+///
+/// // 10 Gop/s peak, 100 Gb/s memory: at 0.05 ops/bit the kernel is
+/// // memory bound at 5 Gop/s.
+/// let r = Roofline::new(10e9, Bandwidth::gbps(100.0));
+/// assert!((r.attainable_ops(0.05) - 5e9).abs() < 1.0);
+/// assert!((r.attainable_ops(1.0) - 10e9).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    peak_ops: f64,
+    memory_bandwidth: Bandwidth,
+}
+
+impl Roofline {
+    /// Creates a roofline from the processor's peak op rate and its
+    /// memory bandwidth.
+    pub fn new(peak_ops: f64, memory_bandwidth: Bandwidth) -> Self {
+        Roofline {
+            peak_ops,
+            memory_bandwidth,
+        }
+    }
+
+    /// Attainable op rate at `intensity` operations per bit of memory
+    /// traffic.
+    pub fn attainable_ops(&self, intensity: f64) -> f64 {
+        self.peak_ops
+            .min(self.memory_bandwidth.as_bps() * intensity)
+    }
+
+    /// The ridge point: the intensity at which the kernel transitions
+    /// from memory bound to compute bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        if self.memory_bandwidth.is_zero() {
+            return f64::INFINITY;
+        }
+        self.peak_ops / self.memory_bandwidth.as_bps()
+    }
+}
+
+/// The LogCA model (Altaf & Wood, ISCA '17) of one offloaded kernel:
+/// five parameters describing a host-accelerator pair.
+///
+/// * `latency` (L) — cycles/time for the accelerator to set up.
+/// * `overhead` (o) — host-side cost to offload one call.
+/// * `granularity_rate` (g⁻¹ folded into `compute`) — the model works
+///   per offloaded granularity `g`.
+/// * `compute` (C(g) = c·g^β) — host compute time for granularity `g`
+///   (β = 1 here: linear kernels, the common case).
+/// * `acceleration` (A) — the accelerator's speedup over the host.
+///
+/// Execution time of one offloaded call:
+/// `T₁(g) = o + L + C(g)/A`, and throughput is `g / T₁(g)` — LogCA has
+/// no notion of queueing, pipelining across engines, or traffic
+/// profiles (§2.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogCa {
+    latency: Seconds,
+    overhead: Seconds,
+    host_time_per_byte: Seconds,
+    acceleration: f64,
+}
+
+impl LogCa {
+    /// Creates a LogCA instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acceleration` is not positive.
+    pub fn new(
+        latency: Seconds,
+        overhead: Seconds,
+        host_time_per_byte: Seconds,
+        acceleration: f64,
+    ) -> Self {
+        assert!(acceleration > 0.0, "acceleration must be positive");
+        LogCa {
+            latency,
+            overhead,
+            host_time_per_byte,
+            acceleration,
+        }
+    }
+
+    /// Host-only execution time for granularity `g`.
+    pub fn host_time(&self, g: Bytes) -> Seconds {
+        self.host_time_per_byte.scaled(g.as_f64())
+    }
+
+    /// Accelerated execution time for one call of granularity `g`:
+    /// `o + L + C(g)/A`.
+    pub fn accelerated_time(&self, g: Bytes) -> Seconds {
+        self.overhead + self.latency + self.host_time(g).scaled(1.0 / self.acceleration)
+    }
+
+    /// LogCA's speedup for granularity `g`.
+    pub fn speedup(&self, g: Bytes) -> f64 {
+        let host = self.host_time(g).as_secs();
+        let accel = self.accelerated_time(g).as_secs();
+        if accel == 0.0 {
+            return f64::INFINITY;
+        }
+        host / accel
+    }
+
+    /// Break-even granularity `g₁`: the smallest granularity at which
+    /// offloading wins (speedup = 1). `None` when offloading always or
+    /// never wins.
+    pub fn break_even(&self) -> Option<Bytes> {
+        // host·g = o + L + host·g/A  ⇒  g = (o+L) / (host·(1−1/A)).
+        let host = self.host_time_per_byte.as_secs();
+        let factor = 1.0 - 1.0 / self.acceleration;
+        if host <= 0.0 || factor <= 0.0 {
+            return None;
+        }
+        let g = (self.overhead.as_secs() + self.latency.as_secs()) / (host * factor);
+        Some(Bytes::new(g.ceil() as u64))
+    }
+
+    /// LogCA's throughput prediction: serialized calls, `g / T₁(g)`.
+    /// This is where the model breaks down for SmartNICs — it cannot
+    /// express concurrent engines or the traffic profile.
+    pub fn throughput(&self, g: Bytes) -> Bandwidth {
+        let t = self.accelerated_time(g).as_secs();
+        if t <= 0.0 {
+            return Bandwidth::ZERO;
+        }
+        Bandwidth::bps(g.bits() as f64 / t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_regimes() {
+        let r = Roofline::new(2e9, Bandwidth::gbps(50.0));
+        // Below the ridge: memory bound.
+        assert!((r.attainable_ops(0.01) - 0.5e9).abs() < 1.0);
+        // Above: compute bound.
+        assert!((r.attainable_ops(10.0) - 2e9).abs() < 1.0);
+        assert!((r.ridge_intensity() - 0.04).abs() < 1e-12);
+        assert_eq!(
+            Roofline::new(1.0, Bandwidth::ZERO).ridge_intensity(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn logca_times_and_speedup() {
+        // Host: 1 ns/B; accelerator 10×; 2 µs offload cost total.
+        let m = LogCa::new(
+            Seconds::micros(1.0),
+            Seconds::micros(1.0),
+            Seconds::nanos(1.0),
+            10.0,
+        );
+        // 1 KB: host 1 µs, accel 2 + 0.1 = 2.1 µs → speedup < 1.
+        assert!(m.speedup(Bytes::new(1000)) < 1.0);
+        // 1 MB: host 1 ms, accel 2 µs + 100 µs → speedup ≈ 9.8.
+        let s = m.speedup(Bytes::new(1_000_000));
+        assert!((s - 9.8).abs() < 0.1, "s = {s}");
+    }
+
+    #[test]
+    fn logca_break_even_matches_unit_speedup() {
+        let m = LogCa::new(
+            Seconds::micros(1.0),
+            Seconds::micros(1.0),
+            Seconds::nanos(1.0),
+            10.0,
+        );
+        let g = m.break_even().unwrap();
+        // g = 2 µs / (1 ns × 0.9) ≈ 2223 B.
+        assert!((g.as_f64() - 2222.0).abs() <= 2.0, "g = {g}");
+        let s_lo = m.speedup(Bytes::new(g.get() - 100));
+        let s_hi = m.speedup(Bytes::new(g.get() + 100));
+        assert!(s_lo < 1.0 && s_hi > 1.0);
+    }
+
+    #[test]
+    fn logca_no_break_even_when_acceleration_below_one() {
+        let m = LogCa::new(
+            Seconds::micros(1.0),
+            Seconds::micros(1.0),
+            Seconds::nanos(1.0),
+            0.5,
+        );
+        assert!(m.break_even().is_none(), "a slower accelerator never wins");
+    }
+
+    #[test]
+    fn logca_throughput_grows_with_granularity_toward_asymptote() {
+        let m = LogCa::new(
+            Seconds::micros(1.0),
+            Seconds::micros(1.0),
+            Seconds::nanos(1.0),
+            10.0,
+        );
+        let t64 = m.throughput(Bytes::new(64)).as_bps();
+        let t4k = m.throughput(Bytes::kib(4)).as_bps();
+        let t1m = m.throughput(Bytes::mib(1)).as_bps();
+        assert!(t64 < t4k && t4k < t1m);
+        // Asymptote: A / per-byte = 10 B/ns = 80 Gb/s.
+        assert!(t1m < 80e9);
+        assert!(t1m > 70e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn logca_rejects_nonpositive_acceleration() {
+        let _ = LogCa::new(Seconds::ZERO, Seconds::ZERO, Seconds::nanos(1.0), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Error types returned by model construction and evaluation.
+
+use core::fmt;
+
+/// Errors produced while building or evaluating a LogNIC model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The execution graph contains a cycle; LogNIC graphs are DAGs
+    /// (§3.3). Recirculation must be unrolled into extra vertices.
+    CycleDetected {
+        /// Name of a node participating in the cycle.
+        node: String,
+    },
+    /// A node other than an egress engine has no outgoing edges, or a
+    /// node other than an ingress engine has no incoming edges.
+    Disconnected {
+        /// Name of the dangling node.
+        node: String,
+    },
+    /// The graph has no ingress vertex.
+    MissingIngress,
+    /// The graph has no egress vertex.
+    MissingEgress,
+    /// The graph has no vertices at all.
+    EmptyGraph,
+    /// No ingress→egress path exists.
+    NoPath,
+    /// A numeric parameter is outside its valid domain.
+    InvalidParameter {
+        /// Which parameter was rejected (e.g. `"delta"`).
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must lie in [0, 1]"`.
+        constraint: &'static str,
+    },
+    /// An edge references a node id that does not belong to this graph.
+    UnknownNode {
+        /// The raw index that was out of range.
+        index: usize,
+    },
+    /// Two graphs being consolidated disagree on shared hardware.
+    IncompatibleGraphs {
+        /// Explanation of the mismatch.
+        reason: String,
+    },
+    /// A weight vector (tenant weights, traffic mix) does not form a
+    /// valid convex combination.
+    InvalidWeights {
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CycleDetected { node } => {
+                write!(f, "execution graph contains a cycle through node `{node}`")
+            }
+            ModelError::Disconnected { node } => {
+                write!(
+                    f,
+                    "node `{node}` is not connected on the ingress-egress data path"
+                )
+            }
+            ModelError::MissingIngress => write!(f, "execution graph has no ingress vertex"),
+            ModelError::MissingEgress => write!(f, "execution graph has no egress vertex"),
+            ModelError::EmptyGraph => write!(f, "execution graph has no vertices"),
+            ModelError::NoPath => write!(f, "no ingress-to-egress path exists"),
+            ModelError::InvalidParameter {
+                parameter,
+                value,
+                constraint,
+            } => {
+                write!(
+                    f,
+                    "parameter `{parameter}` = {value} is invalid: {constraint}"
+                )
+            }
+            ModelError::UnknownNode { index } => {
+                write!(f, "node index {index} does not belong to this graph")
+            }
+            ModelError::IncompatibleGraphs { reason } => {
+                write!(f, "graphs cannot be consolidated: {reason}")
+            }
+            ModelError::InvalidWeights { reason } => {
+                write!(f, "invalid weight vector: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::CycleDetected { node: "ip1".into() };
+        assert!(e.to_string().contains("ip1"));
+        let e = ModelError::InvalidParameter {
+            parameter: "delta",
+            value: 1.5,
+            constraint: "must lie in [0, 1]",
+        };
+        assert!(e.to_string().contains("delta"));
+        assert!(e.to_string().contains("1.5"));
+        assert!(!ModelError::MissingIngress.to_string().is_empty());
+        assert!(!ModelError::NoPath.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

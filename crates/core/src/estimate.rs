@@ -1,0 +1,141 @@
+//! The estimation-mode facade (§3.8, Fig. 4a).
+//!
+//! An [`Estimator`] bundles the three model inputs — execution graph,
+//! hardware model and traffic profile — and produces a complete
+//! [`Estimate`] (throughput, latency, drop-aware delivered rate) in
+//! one call.
+
+use crate::error::Result;
+use crate::extensions::delivered_throughput;
+use crate::graph::ExecutionGraph;
+use crate::latency::{estimate_latency, LatencyEstimate};
+use crate::params::{HardwareModel, TrafficProfile};
+use crate::throughput::{estimate_throughput, ThroughputEstimate};
+use crate::units::Bandwidth;
+
+/// The combined output of one model evaluation.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Attainable throughput and capacity bounds (Eq. 4).
+    pub throughput: ThroughputEstimate,
+    /// Mean latency with per-path and per-node breakdowns (Eq. 8).
+    pub latency: LatencyEstimate,
+    /// Delivered rate after finite-queue drops.
+    pub delivered: Bandwidth,
+}
+
+/// Evaluates a SmartNIC program on a hardware model under a traffic
+/// profile.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::estimate::Estimator;
+/// use lognic_model::graph::ExecutionGraph;
+/// use lognic_model::params::{HardwareModel, IpParams, TrafficProfile};
+/// use lognic_model::units::{Bandwidth, Bytes};
+///
+/// # fn main() -> Result<(), lognic_model::error::ModelError> {
+/// let g = ExecutionGraph::chain("echo", &[("core", IpParams::new(Bandwidth::gbps(10.0)))])?;
+/// let hw = HardwareModel::default();
+/// let traffic = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+/// let est = Estimator::new(&g, &hw, &traffic).estimate()?;
+/// assert_eq!(est.throughput.attainable(), Bandwidth::gbps(10.0));
+/// assert!(est.latency.mean().as_micros() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Estimator<'a> {
+    graph: &'a ExecutionGraph,
+    hw: &'a HardwareModel,
+    traffic: &'a TrafficProfile,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator over the three model inputs.
+    pub fn new(
+        graph: &'a ExecutionGraph,
+        hw: &'a HardwareModel,
+        traffic: &'a TrafficProfile,
+    ) -> Self {
+        Estimator { graph, hw, traffic }
+    }
+
+    /// The execution graph under evaluation.
+    pub fn graph(&self) -> &ExecutionGraph {
+        self.graph
+    }
+
+    /// Runs only the throughput model (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-evaluation errors.
+    pub fn throughput(&self) -> Result<ThroughputEstimate> {
+        estimate_throughput(self.graph, self.hw, self.traffic)
+    }
+
+    /// Runs only the latency model (Eq. 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-evaluation errors.
+    pub fn latency(&self) -> Result<LatencyEstimate> {
+        estimate_latency(self.graph, self.hw, self.traffic)
+    }
+
+    /// Runs the full evaluation: throughput, latency and the
+    /// drop-aware delivered rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-evaluation errors.
+    pub fn estimate(&self) -> Result<Estimate> {
+        Ok(Estimate {
+            throughput: self.throughput()?,
+            latency: self.latency()?,
+            delivered: delivered_throughput(self.graph, self.hw, self.traffic)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::IpParams;
+    use crate::units::Bytes;
+
+    #[test]
+    fn estimator_combines_all_outputs() {
+        let g = ExecutionGraph::chain(
+            "t",
+            &[(
+                "ip",
+                IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(32),
+            )],
+        )
+        .unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1500));
+        let e = Estimator::new(&g, &hw, &traffic);
+        let est = e.estimate().unwrap();
+        assert_eq!(est.throughput.attainable(), Bandwidth::gbps(5.0));
+        assert!(est.latency.mean().as_micros() > 0.0);
+        assert!(est.delivered <= est.throughput.attainable());
+        assert_eq!(e.graph().name(), "t");
+    }
+
+    #[test]
+    fn estimator_is_copy_and_reusable() {
+        let g = ExecutionGraph::chain("t", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))]).unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(64));
+        let e = Estimator::new(&g, &hw, &traffic);
+        let e2 = e;
+        assert_eq!(
+            e.throughput().unwrap().attainable(),
+            e2.throughput().unwrap().attainable()
+        );
+    }
+}

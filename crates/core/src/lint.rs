@@ -1,0 +1,264 @@
+//! Consistency linting for execution graphs.
+//!
+//! The builder enforces structural validity (DAG, connectivity); this
+//! pass flags *semantic* suspicions in the `δ/α/β` annotations that
+//! typically indicate a mis-specified program: vertices that emit more
+//! traffic than they receive, media fractions on edges that carry
+//! nothing, starved vertices, and saturating partitions. Warnings are
+//! advisory — all of these are occasionally intentional (e.g. `α > δ`
+//! folds an IP's internal traffic into its ingress edge, §4.7).
+
+use crate::graph::{ExecutionGraph, NodeId, NodeKind};
+
+/// One advisory finding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LintWarning {
+    /// A vertex's outgoing `Σδ` exceeds its incoming `Σδ`: the graph
+    /// creates traffic out of thin air.
+    AmplifyingNode {
+        /// The vertex.
+        node: NodeId,
+        /// Its name.
+        name: String,
+        /// Incoming `Σδ`.
+        delta_in: f64,
+        /// Outgoing `Σδ`.
+        delta_out: f64,
+    },
+    /// An edge declares interface/memory usage but carries no traffic
+    /// (`δ = 0`): the media fractions will charge the Eq. 2 bounds for
+    /// data that never flows.
+    MediumOnEmptyEdge {
+        /// The edge index.
+        edge: usize,
+    },
+    /// An IP vertex receives no traffic (`Σδ_in = 0`) yet sits on the
+    /// data path.
+    StarvedNode {
+        /// The vertex.
+        node: NodeId,
+        /// Its name.
+        name: String,
+    },
+    /// Partitions of same-named vertices sum above 1: the virtual IPs
+    /// oversubscribe the physical one.
+    OversubscribedPartition {
+        /// The shared physical name.
+        name: String,
+        /// The summed `γ`.
+        total: f64,
+    },
+}
+
+impl core::fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LintWarning::AmplifyingNode { name, delta_in, delta_out, .. } => write!(
+                f,
+                "node `{name}` emits more than it receives (Σδ_out {delta_out:.3} > Σδ_in {delta_in:.3})"
+            ),
+            LintWarning::MediumOnEmptyEdge { edge } => {
+                write!(f, "edge #{edge} declares medium usage but carries no traffic (δ = 0)")
+            }
+            LintWarning::StarvedNode { name, .. } => {
+                write!(f, "node `{name}` receives no traffic (Σδ_in = 0)")
+            }
+            LintWarning::OversubscribedPartition { name, total } => write!(
+                f,
+                "vertices named `{name}` hold γ partitions summing to {total:.2} > 1"
+            ),
+        }
+    }
+}
+
+/// Lints a graph, returning advisory warnings (empty = clean).
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::graph::ExecutionGraph;
+/// use lognic_model::lint::lint;
+/// use lognic_model::params::IpParams;
+/// use lognic_model::units::Bandwidth;
+///
+/// # fn main() -> lognic_model::error::Result<()> {
+/// let g = ExecutionGraph::chain("ok", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))])?;
+/// assert!(lint(&g).is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn lint(graph: &ExecutionGraph) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    const EPS: f64 = 1e-9;
+
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let id = NodeId(i);
+        match node.kind() {
+            NodeKind::Ingress => {}
+            NodeKind::Egress => {}
+            _ => {
+                let din = graph.delta_in_sum(id);
+                let dout = graph.delta_out_sum(id);
+                if dout > din + EPS {
+                    warnings.push(LintWarning::AmplifyingNode {
+                        node: id,
+                        name: node.name().to_owned(),
+                        delta_in: din,
+                        delta_out: dout,
+                    });
+                }
+                if din <= EPS {
+                    warnings.push(LintWarning::StarvedNode {
+                        node: id,
+                        name: node.name().to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    for (i, e) in graph.edges().iter().enumerate() {
+        let p = e.params();
+        if p.delta() <= EPS && (p.interface_fraction() > EPS || p.memory_fraction() > EPS) {
+            warnings.push(LintWarning::MediumOnEmptyEdge { edge: i });
+        }
+    }
+
+    // γ oversubscription across same-named vertices.
+    let mut seen: Vec<(&str, f64, usize)> = Vec::new();
+    for node in graph.nodes() {
+        let Some(p) = node.params() else { continue };
+        match seen.iter_mut().find(|(n, _, _)| *n == node.name()) {
+            Some(entry) => {
+                entry.1 += p.partition();
+                entry.2 += 1;
+            }
+            None => seen.push((node.name(), p.partition(), 1)),
+        }
+    }
+    for (name, total, count) in seen {
+        if count > 1 && total > 1.0 + EPS {
+            warnings.push(LintWarning::OversubscribedPartition {
+                name: name.to_owned(),
+                total,
+            });
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EdgeParams, IpParams};
+    use crate::units::Bandwidth;
+
+    fn ip(gbps: f64) -> IpParams {
+        IpParams::new(Bandwidth::gbps(gbps))
+    }
+
+    #[test]
+    fn clean_chain_has_no_warnings() {
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0)), ("b", ip(2.0))]).unwrap();
+        assert!(lint(&g).is_empty());
+    }
+
+    #[test]
+    fn amplifying_node_flagged() {
+        let mut b = ExecutionGraph::builder("amp");
+        let ing = b.ingress("in");
+        let a = b.ip("a", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, a, EdgeParams::new(0.5).unwrap());
+        b.edge(a, eg, EdgeParams::new(1.0).unwrap()); // emits 2× its input
+        let g = b.build().unwrap();
+        let warnings = lint(&g);
+        assert!(
+            warnings
+                .iter()
+                .any(|w| matches!(w, LintWarning::AmplifyingNode { name, .. } if name == "a")),
+            "{warnings:?}"
+        );
+        let text = warnings[0].to_string();
+        assert!(text.contains("a"), "{text}");
+    }
+
+    #[test]
+    fn thinning_node_is_fine() {
+        // Dropping traffic (filters, caches) is normal.
+        let mut b = ExecutionGraph::builder("thin");
+        let ing = b.ingress("in");
+        let a = b.ip("a", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, a, EdgeParams::new(1.0).unwrap());
+        b.edge(a, eg, EdgeParams::new(0.3).unwrap());
+        let g = b.build().unwrap();
+        assert!(lint(&g).is_empty());
+    }
+
+    #[test]
+    fn medium_on_empty_edge_flagged() {
+        let mut b = ExecutionGraph::builder("m");
+        let ing = b.ingress("in");
+        let a = b.ip("a", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, a, EdgeParams::full());
+        b.edge(
+            a,
+            eg,
+            EdgeParams::new(0.0).unwrap().with_interface_fraction(0.5),
+        );
+        let g = b.build().unwrap();
+        let warnings = lint(&g);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::MediumOnEmptyEdge { edge: 1 })));
+    }
+
+    #[test]
+    fn starved_node_flagged() {
+        let mut b = ExecutionGraph::builder("s");
+        let ing = b.ingress("in");
+        let a = b.ip("a", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, a, EdgeParams::new(0.0).unwrap());
+        b.edge(a, eg, EdgeParams::new(0.0).unwrap());
+        let g = b.build().unwrap();
+        let warnings = lint(&g);
+        assert!(warnings
+            .iter()
+            .any(|w| matches!(w, LintWarning::StarvedNode { name, .. } if name == "a")));
+    }
+
+    #[test]
+    fn oversubscribed_partition_flagged() {
+        let mut b = ExecutionGraph::builder("g");
+        let ing = b.ingress("in");
+        let a1 = b.ip("cores", ip(10.0).with_partition(0.7));
+        let a2 = b.ip("cores", ip(10.0).with_partition(0.7));
+        let eg = b.egress("out");
+        b.edge(ing, a1, EdgeParams::new(0.5).unwrap());
+        b.edge(ing, a2, EdgeParams::new(0.5).unwrap());
+        b.edge(a1, eg, EdgeParams::new(0.5).unwrap());
+        b.edge(a2, eg, EdgeParams::new(0.5).unwrap());
+        let g = b.build().unwrap();
+        let warnings = lint(&g);
+        assert!(warnings.iter().any(
+            |w| matches!(w, LintWarning::OversubscribedPartition { name, total } if name == "cores" && (*total - 1.4).abs() < 1e-9)
+        ));
+    }
+
+    #[test]
+    fn distinct_names_never_oversubscribe() {
+        let g = ExecutionGraph::chain(
+            "d",
+            &[
+                ("x", ip(1.0).with_partition(0.9)),
+                ("y", ip(1.0).with_partition(0.9)),
+            ],
+        )
+        .unwrap();
+        assert!(lint(&g).is_empty());
+    }
+}

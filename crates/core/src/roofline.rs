@@ -1,0 +1,271 @@
+//! The extended Roofline of an IP (§3.2).
+//!
+//! LogNIC repurposes the Roofline model for SmartNIC engines with two
+//! changes: (1) *multiple* bandwidth ceilings, one per input data
+//! source (SoC interconnect, memory hierarchy, I/O fabric …), and
+//! (2) *packet intensity* — IP-specific operations per packet — in
+//! place of arithmetic intensity.
+
+use crate::units::{Bandwidth, Bytes, OpsRate};
+
+/// One bandwidth ceiling of the roofline: a data source feeding the
+/// engine.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ceiling {
+    name: String,
+    bandwidth: Bandwidth,
+}
+
+impl Ceiling {
+    /// Creates a ceiling for the named data source.
+    pub fn new(name: &str, bandwidth: Bandwidth) -> Self {
+        Ceiling {
+            name: name.to_owned(),
+            bandwidth,
+        }
+    }
+
+    /// The data-source name (e.g. `"cmi"`, `"io-interconnect"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ceiling bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+}
+
+/// What bounds an engine at a given access granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RooflineRegime {
+    /// The engine's own op rate binds (left of the knee).
+    ComputeBound,
+    /// The named data source binds (right of the knee).
+    BandwidthBound(String),
+}
+
+/// The extended roofline of one IP engine.
+///
+/// # Examples
+///
+/// The paper's Fig. 5 setup: a CRC engine peaking at 2.8 MOPS fed over
+/// a 50 Gb/s coherent memory interconnect. Throughput is flat until the
+/// access granularity exceeds the knee, then falls as `BW / g`:
+///
+/// ```
+/// use lognic_model::roofline::IpRoofline;
+/// use lognic_model::units::{Bandwidth, Bytes, OpsRate};
+///
+/// let crc = IpRoofline::new(OpsRate::mops(2.8))
+///     .with_ceiling("cmi", Bandwidth::gbps(50.0));
+/// let small = crc.attainable_ops(Bytes::new(512));
+/// assert!((small.as_mops() - 2.8).abs() < 1e-9, "compute bound");
+/// let large = crc.attainable_ops(Bytes::kib(16));
+/// assert!(large.as_mops() < 0.4, "interconnect bound");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IpRoofline {
+    peak: OpsRate,
+    ops_per_packet: f64,
+    ceilings: Vec<Ceiling>,
+}
+
+impl IpRoofline {
+    /// Creates a roofline with the engine's peak op rate and no
+    /// bandwidth ceilings (pure compute bound).
+    pub fn new(peak: OpsRate) -> Self {
+        IpRoofline {
+            peak,
+            ops_per_packet: 1.0,
+            ceilings: Vec::new(),
+        }
+    }
+
+    /// Adds a bandwidth ceiling for a data source.
+    pub fn with_ceiling(mut self, name: &str, bandwidth: Bandwidth) -> Self {
+        self.ceilings.push(Ceiling::new(name, bandwidth));
+        self
+    }
+
+    /// Sets the packet intensity: operations executed per packet
+    /// transmission (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is not positive and finite.
+    pub fn with_ops_per_packet(mut self, ops: f64) -> Self {
+        assert!(
+            ops > 0.0 && ops.is_finite(),
+            "ops per packet must be positive"
+        );
+        self.ops_per_packet = ops;
+        self
+    }
+
+    /// The engine's peak op rate.
+    pub fn peak(&self) -> OpsRate {
+        self.peak
+    }
+
+    /// The configured ceilings.
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// The packet intensity (ops per packet).
+    pub fn ops_per_packet(&self) -> f64 {
+        self.ops_per_packet
+    }
+
+    /// The tightest data-source ceiling, if any.
+    pub fn min_ceiling(&self) -> Option<&Ceiling> {
+        self.ceilings
+            .iter()
+            .min_by(|a, b| a.bandwidth.partial_cmp(&b.bandwidth).expect("finite"))
+    }
+
+    /// Attainable operation rate at data-access granularity `g`:
+    /// `min(peak, BW_min / g)`.
+    pub fn attainable_ops(&self, granularity: Bytes) -> OpsRate {
+        let mut ops = self.peak;
+        if granularity.get() == 0 {
+            return ops;
+        }
+        for c in &self.ceilings {
+            let limited = OpsRate::per_sec(c.bandwidth.as_bps() / granularity.bits() as f64);
+            ops = ops.min(limited);
+        }
+        ops
+    }
+
+    /// Attainable packet rate at granularity `g`, accounting for the
+    /// packet intensity.
+    pub fn attainable_packets(&self, granularity: Bytes) -> OpsRate {
+        OpsRate::per_sec(self.attainable_ops(granularity).as_per_sec() / self.ops_per_packet)
+    }
+
+    /// Attainable data bandwidth at granularity `g`:
+    /// `attainable_packets(g) × g`.
+    pub fn attainable_bandwidth(&self, granularity: Bytes) -> Bandwidth {
+        self.attainable_packets(granularity).data_rate(granularity)
+    }
+
+    /// Which side of the knee the engine operates on at granularity
+    /// `g`.
+    pub fn regime(&self, granularity: Bytes) -> RooflineRegime {
+        let binding = self
+            .ceilings
+            .iter()
+            .filter(|c| {
+                granularity.get() > 0
+                    && c.bandwidth.as_bps() / (granularity.bits() as f64) < self.peak.as_per_sec()
+            })
+            .min_by(|a, b| a.bandwidth.partial_cmp(&b.bandwidth).expect("finite"));
+        match binding {
+            Some(c) => RooflineRegime::BandwidthBound(c.name.clone()),
+            None => RooflineRegime::ComputeBound,
+        }
+    }
+
+    /// The knee granularity: the largest access size at which the
+    /// engine still runs compute-bound, `BW_min / peak`. `None` when
+    /// there is no ceiling.
+    pub fn knee(&self) -> Option<Bytes> {
+        let c = self.min_ceiling()?;
+        if self.peak.as_per_sec() == 0.0 {
+            return None;
+        }
+        let bytes = c.bandwidth.as_bytes_per_sec() / self.peak.as_per_sec();
+        Some(Bytes::new(bytes.floor() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crc() -> IpRoofline {
+        IpRoofline::new(OpsRate::mops(2.8)).with_ceiling("cmi", Bandwidth::gbps(50.0))
+    }
+
+    #[test]
+    fn compute_bound_below_knee() {
+        let r = crc();
+        assert_eq!(r.attainable_ops(Bytes::new(512)), OpsRate::mops(2.8));
+        assert_eq!(r.regime(Bytes::new(512)), RooflineRegime::ComputeBound);
+    }
+
+    #[test]
+    fn bandwidth_bound_above_knee() {
+        let r = crc();
+        // 50 Gb/s / 16 KiB = 0.3815 MOPS.
+        let ops = r.attainable_ops(Bytes::kib(16));
+        assert!((ops.as_mops() - 50e9 / (16384.0 * 8.0) / 1e6).abs() < 1e-9);
+        assert_eq!(
+            r.regime(Bytes::kib(16)),
+            RooflineRegime::BandwidthBound("cmi".into())
+        );
+    }
+
+    #[test]
+    fn paper_fig5_anchor_fraction_of_peak_at_16k() {
+        // The paper: CRC at 16 KB reaches 13.6% of its maximum.
+        let r = crc();
+        let frac = r.attainable_ops(Bytes::kib(16)).as_per_sec() / r.peak().as_per_sec();
+        assert!((frac - 0.136).abs() < 0.003, "got {frac}");
+    }
+
+    #[test]
+    fn knee_location() {
+        let r = crc();
+        // 50 Gb/s = 6.25 GB/s; 6.25e9 / 2.8e6 ≈ 2232 B.
+        let knee = r.knee().unwrap();
+        assert!((knee.as_f64() - 6.25e9 / 2.8e6).abs() < 1.0);
+        assert!(IpRoofline::new(OpsRate::mops(1.0)).knee().is_none());
+    }
+
+    #[test]
+    fn multiple_ceilings_take_tightest() {
+        let r = IpRoofline::new(OpsRate::mops(10.0))
+            .with_ceiling("interconnect", Bandwidth::gbps(40.0))
+            .with_ceiling("dram", Bandwidth::gbps(20.0));
+        assert_eq!(r.min_ceiling().unwrap().name(), "dram");
+        let ops = r.attainable_ops(Bytes::kib(4));
+        assert!((ops.as_per_sec() - 20e9 / (4096.0 * 8.0)).abs() < 1e-6);
+        assert_eq!(
+            r.regime(Bytes::kib(4)),
+            RooflineRegime::BandwidthBound("dram".into())
+        );
+    }
+
+    #[test]
+    fn packet_intensity_divides_packet_rate() {
+        // A regex engine doing 4 ops per packet halves^2 its packet rate.
+        let r = IpRoofline::new(OpsRate::mops(4.0)).with_ops_per_packet(4.0);
+        assert!((r.attainable_packets(Bytes::new(64)).as_mops() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attainable_bandwidth_is_packets_times_size() {
+        let r = IpRoofline::new(OpsRate::mops(1.0));
+        let bw = r.attainable_bandwidth(Bytes::new(1500));
+        assert!((bw.as_bps() - 1e6 * 1500.0 * 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_granularity_is_compute_bound() {
+        let r = crc();
+        assert_eq!(r.attainable_ops(Bytes::new(0)), OpsRate::mops(2.8));
+        assert_eq!(r.regime(Bytes::new(0)), RooflineRegime::ComputeBound);
+    }
+
+    #[test]
+    fn no_ceiling_is_always_compute_bound() {
+        let r = IpRoofline::new(OpsRate::mops(5.0));
+        assert_eq!(r.attainable_ops(Bytes::mib(64)), OpsRate::mops(5.0));
+        assert_eq!(r.regime(Bytes::mib(64)), RooflineRegime::ComputeBound);
+    }
+}

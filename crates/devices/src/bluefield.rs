@@ -1,0 +1,271 @@
+//! NVIDIA BlueField-2 DPU profile (case study #4, §4.5).
+//!
+//! An off-path 100 GbE Multicore-SoC SmartNIC: 8 ARM A72 cores at
+//! 2.5 GHz, 16 GB DRAM, and hardware-accelerated Crypto, RegEx,
+//! Hashing and Connection-Tracking modules. The network-middlebox
+//! workload chains five network functions —
+//! FW → LB → DPI → NAT → PE — each implementable on the ARM cores or
+//! (except DPI) on an accelerator module, with a per-packet offload
+//! overhead paid on the cores and extra off-chip data movement.
+
+use crate::cost::CostModel;
+use lognic_model::params::HardwareModel;
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// The five network functions of the middlebox chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkFunction {
+    /// Firewall gateway (rule matching, connection state).
+    Firewall,
+    /// L4 load balancer (consistent hashing).
+    LoadBalancer,
+    /// Deep packet inspection — ARM only.
+    Dpi,
+    /// Network address translation.
+    Nat,
+    /// Packet encryption.
+    Encryption,
+}
+
+impl NetworkFunction {
+    /// The chain in execution order.
+    pub const CHAIN: [NetworkFunction; 5] = [
+        NetworkFunction::Firewall,
+        NetworkFunction::LoadBalancer,
+        NetworkFunction::Dpi,
+        NetworkFunction::Nat,
+        NetworkFunction::Encryption,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkFunction::Firewall => "FW",
+            NetworkFunction::LoadBalancer => "LB",
+            NetworkFunction::Dpi => "DPI",
+            NetworkFunction::Nat => "NAT",
+            NetworkFunction::Encryption => "PE",
+        }
+    }
+}
+
+/// The hardware modules of the BlueField-2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccelModule {
+    /// AES/IPsec crypto block.
+    Crypto,
+    /// Regular-expression engine.
+    RegEx,
+    /// Hashing block.
+    Hashing,
+    /// Connection-tracking block.
+    ConnTrack,
+}
+
+/// The accelerated implementation option of one NF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelOption {
+    /// Which module implements the NF.
+    pub module: AccelModule,
+    /// Per-engine execution cost on the module.
+    pub engine_cost: CostModel,
+    /// Parallel engines in the module.
+    pub engines: u32,
+    /// Per-packet overhead paid on the ARM cores to submit to the
+    /// module and collect the result (`O_i`), plus triggering the
+    /// off-chip data movement.
+    pub offload_overhead: Seconds,
+}
+
+/// The characterized implementations of one NF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfSpec {
+    /// Which NF this describes.
+    pub nf: NetworkFunction,
+    /// Cost on one ARM core.
+    pub arm_cost: CostModel,
+    /// The accelerated option, when the silicon has one.
+    pub accel: Option<AccelOption>,
+}
+
+/// The BlueField-2 device profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlueField2;
+
+impl BlueField2 {
+    /// The Ethernet line rate (100 GbE).
+    pub fn line_rate() -> Bandwidth {
+        Bandwidth::gbps(100.0)
+    }
+
+    /// Number of ARM A72 cores.
+    pub const CORES: u32 = 8;
+
+    /// Core clock in GHz.
+    pub const CORE_CLOCK_GHZ: f64 = 2.5;
+
+    /// Hardware model: the SoC crossbar as the interface, dual-channel
+    /// DDR4 as the memory subsystem.
+    pub fn hardware() -> HardwareModel {
+        HardwareModel::new(Bandwidth::gbps(240.0), Bandwidth::gbytes_per_sec(25.6))
+    }
+
+    /// The characterized spec of one network function.
+    ///
+    /// ARM costs are per-core; accelerator options trade a per-packet
+    /// submission overhead (bad for 64 B packets) for a much lower
+    /// per-byte cost (good for MTU packets) — the tension the
+    /// placement optimizer exploits (Figs. 13–14).
+    pub fn nf(nf: NetworkFunction) -> NfSpec {
+        match nf {
+            NetworkFunction::Firewall => NfSpec {
+                nf,
+                arm_cost: CostModel::new(Seconds::micros(0.14), Seconds::nanos(0.025)),
+                accel: Some(AccelOption {
+                    module: AccelModule::ConnTrack,
+                    engine_cost: CostModel::per_request(Seconds::micros(0.04)),
+                    engines: 2,
+                    offload_overhead: Seconds::micros(0.25),
+                }),
+            },
+            NetworkFunction::LoadBalancer => NfSpec {
+                nf,
+                arm_cost: CostModel::new(Seconds::micros(0.10), Seconds::nanos(0.0125)),
+                accel: Some(AccelOption {
+                    module: AccelModule::Hashing,
+                    engine_cost: CostModel::per_request(Seconds::micros(0.03)),
+                    engines: 2,
+                    offload_overhead: Seconds::micros(0.20),
+                }),
+            },
+            NetworkFunction::Dpi => NfSpec {
+                nf,
+                arm_cost: CostModel::new(Seconds::micros(0.20), Seconds::nanos(0.25)),
+                accel: None,
+            },
+            NetworkFunction::Nat => NfSpec {
+                nf,
+                arm_cost: CostModel::new(Seconds::micros(0.125), Seconds::nanos(0.02)),
+                accel: Some(AccelOption {
+                    module: AccelModule::ConnTrack,
+                    engine_cost: CostModel::per_request(Seconds::micros(0.04)),
+                    engines: 2,
+                    offload_overhead: Seconds::micros(0.25),
+                }),
+            },
+            NetworkFunction::Encryption => NfSpec {
+                nf,
+                arm_cost: CostModel::new(Seconds::micros(0.15), Seconds::nanos(1.20)),
+                accel: Some(AccelOption {
+                    module: AccelModule::Crypto,
+                    engine_cost: CostModel::new(Seconds::micros(0.05), Seconds::nanos(0.02)),
+                    engines: 4,
+                    offload_overhead: Seconds::micros(0.30),
+                }),
+            },
+        }
+    }
+
+    /// Total per-packet ARM time for the whole chain when every NF
+    /// runs on the cores.
+    pub fn arm_only_packet_cost(size: Bytes) -> Seconds {
+        NetworkFunction::CHAIN
+            .iter()
+            .map(|nf| Self::nf(*nf).arm_cost.time(size))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_five_nfs_in_order() {
+        assert_eq!(NetworkFunction::CHAIN.len(), 5);
+        assert_eq!(NetworkFunction::CHAIN[0].name(), "FW");
+        assert_eq!(NetworkFunction::CHAIN[4].name(), "PE");
+    }
+
+    #[test]
+    fn dpi_has_no_accelerator() {
+        assert!(BlueField2::nf(NetworkFunction::Dpi).accel.is_none());
+        for nf in NetworkFunction::CHAIN {
+            if nf != NetworkFunction::Dpi {
+                assert!(
+                    BlueField2::nf(nf).accel.is_some(),
+                    "{} should offload",
+                    nf.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offload_tradeoff_small_vs_large_packets() {
+        // At 64 B the ARM implementation of PE beats paying the
+        // offload overhead; at MTU the accelerator wins.
+        let pe = BlueField2::nf(NetworkFunction::Encryption);
+        let accel = pe.accel.unwrap();
+        let small_arm = pe.arm_cost.time(Bytes::new(64));
+        let small_offload = accel.offload_overhead; // ARM-side cost alone
+        assert!(small_arm < small_offload + accel.engine_cost.time(Bytes::new(64)));
+        let large_arm = pe.arm_cost.time(Bytes::new(1500));
+        let large_offload = accel.offload_overhead;
+        assert!(
+            large_offload < large_arm,
+            "offload overhead must beat per-byte ARM crypto"
+        );
+    }
+
+    #[test]
+    fn arm_only_chain_cost_grows_with_size() {
+        let small = BlueField2::arm_only_packet_cost(Bytes::new(64));
+        let large = BlueField2::arm_only_packet_cost(Bytes::new(1500));
+        assert!(large > small);
+        // Anchors from the calibration: ~0.81 µs at 64 B, ~3.0 µs at MTU.
+        assert!((small.as_micros() - 0.81).abs() < 0.05, "{small}");
+        assert!((large.as_micros() - 3.0).abs() < 0.2, "{large}");
+    }
+
+    #[test]
+    fn arm_only_throughput_order_of_magnitude() {
+        // 8 cores at MTU: ~32 Gb/s; at 64 B: ~5 Gb/s.
+        let mtu = Bytes::new(1500);
+        let per_core = BlueField2::arm_only_packet_cost(mtu).as_secs();
+        let tput = 8.0 * mtu.bits() as f64 / per_core / 1e9;
+        assert!(tput > 25.0 && tput < 45.0, "tput = {tput}");
+    }
+
+    #[test]
+    fn hardware_and_constants() {
+        assert_eq!(BlueField2::line_rate(), Bandwidth::gbps(100.0));
+        assert_eq!(BlueField2::CORES, 8);
+        assert!(BlueField2::hardware().interface_bandwidth() > BlueField2::line_rate());
+    }
+
+    #[test]
+    fn accel_modules_assigned_plausibly() {
+        assert_eq!(
+            BlueField2::nf(NetworkFunction::Encryption)
+                .accel
+                .unwrap()
+                .module,
+            AccelModule::Crypto
+        );
+        assert_eq!(
+            BlueField2::nf(NetworkFunction::LoadBalancer)
+                .accel
+                .unwrap()
+                .module,
+            AccelModule::Hashing
+        );
+        assert_eq!(
+            BlueField2::nf(NetworkFunction::Firewall)
+                .accel
+                .unwrap()
+                .module,
+            AccelModule::ConnTrack
+        );
+    }
+}

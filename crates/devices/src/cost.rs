@@ -1,0 +1,216 @@
+//! Per-stage cost models: how long one request takes on one engine.
+//!
+//! The paper characterizes kernels offline and feeds the model
+//! size-dependent parameters (`P_vi`, `O_i` vary with packet size,
+//! §3.7 extension #2). A [`CostModel`] captures the usual affine shape
+//! — a fixed per-request cost plus a per-byte cost — and converts it
+//! into the model's bandwidth-typed `P_vi` at any packet size.
+
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// An affine per-request execution cost: `t(size) = per_request +
+/// per_byte · size`.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_devices::cost::CostModel;
+/// use lognic_model::units::{Bytes, Seconds};
+///
+/// // 2 µs fixed cost plus 1 ns per byte.
+/// let m = CostModel::new(Seconds::micros(2.0), Seconds::nanos(1.0));
+/// assert!((m.time(Bytes::new(1000)).as_micros() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    per_request: Seconds,
+    per_byte: Seconds,
+}
+
+impl CostModel {
+    /// Creates a cost model from its fixed and per-byte components.
+    pub fn new(per_request: Seconds, per_byte: Seconds) -> Self {
+        CostModel {
+            per_request,
+            per_byte,
+        }
+    }
+
+    /// A purely per-request cost (size-independent kernels).
+    pub fn per_request(cost: Seconds) -> Self {
+        CostModel {
+            per_request: cost,
+            per_byte: Seconds::ZERO,
+        }
+    }
+
+    /// The fixed component.
+    pub fn fixed(&self) -> Seconds {
+        self.per_request
+    }
+
+    /// The per-byte component.
+    pub fn per_byte(&self) -> Seconds {
+        self.per_byte
+    }
+
+    /// Execution time of one request of `size` bytes on one engine.
+    pub fn time(&self, size: Bytes) -> Seconds {
+        self.per_request + self.per_byte.scaled(size.as_f64())
+    }
+
+    /// The data rate one engine sustains at this size:
+    /// `size / t(size)`.
+    pub fn engine_rate(&self, size: Bytes) -> Bandwidth {
+        let t = self.time(size);
+        if t.is_zero() || t.is_infinite() {
+            return Bandwidth::ZERO;
+        }
+        Bandwidth::bps(size.bits() as f64 / t.as_secs())
+    }
+
+    /// The aggregate `P_vi` of `parallelism` engines at this size.
+    pub fn peak(&self, size: Bytes, parallelism: u32) -> Bandwidth {
+        self.engine_rate(size) * parallelism as f64
+    }
+
+    /// The request rate one engine sustains at this size (requests per
+    /// second).
+    pub fn engine_request_rate(&self, size: Bytes) -> f64 {
+        let t = self.time(size);
+        if t.is_zero() {
+            return f64::INFINITY;
+        }
+        1.0 / t.as_secs()
+    }
+
+    /// Returns a copy with extra fixed cost added (e.g. an accelerator
+    /// submission overhead on top of base packet processing).
+    pub fn plus_fixed(&self, extra: Seconds) -> CostModel {
+        CostModel {
+            per_request: self.per_request + extra,
+            per_byte: self.per_byte,
+        }
+    }
+
+    /// Returns a copy with every component scaled (e.g. a slower
+    /// clock).
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        CostModel {
+            per_request: self.per_request.scaled(factor),
+            per_byte: self.per_byte.scaled(factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_time() {
+        let m = CostModel::new(Seconds::micros(1.0), Seconds::nanos(2.0));
+        assert!((m.time(Bytes::new(500)).as_micros() - 2.0).abs() < 1e-9);
+        assert_eq!(m.fixed(), Seconds::micros(1.0));
+        assert_eq!(m.per_byte(), Seconds::nanos(2.0));
+    }
+
+    #[test]
+    fn per_request_only() {
+        let m = CostModel::per_request(Seconds::micros(4.0));
+        assert_eq!(m.time(Bytes::new(64)), m.time(Bytes::new(1500)));
+    }
+
+    #[test]
+    fn engine_rate_grows_with_size_for_fixed_costs() {
+        // Fixed-cost kernels favour big packets.
+        let m = CostModel::per_request(Seconds::micros(1.0));
+        assert!(m.engine_rate(Bytes::new(1500)) > m.engine_rate(Bytes::new(64)));
+        // 1500 B / 1 µs = 12 Gbps.
+        assert!((m.engine_rate(Bytes::new(1500)).as_gbps() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_scales_with_parallelism() {
+        let m = CostModel::per_request(Seconds::micros(1.0));
+        let p1 = m.peak(Bytes::new(1500), 1);
+        let p8 = m.peak(Bytes::new(1500), 8);
+        assert!((p8.as_gbps() / p1.as_gbps() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_rate_is_inverse_time() {
+        let m = CostModel::per_request(Seconds::micros(4.0));
+        assert!((m.engine_request_rate(Bytes::new(1500)) - 250_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn plus_fixed_and_scaled() {
+        let m = CostModel::new(Seconds::micros(1.0), Seconds::nanos(1.0));
+        let m2 = m.plus_fixed(Seconds::micros(2.0));
+        assert_eq!(m2.fixed(), Seconds::micros(3.0));
+        assert_eq!(m2.per_byte(), m.per_byte());
+        let m3 = m.scaled(2.0);
+        assert_eq!(m3.fixed(), Seconds::micros(2.0));
+        assert_eq!(m3.per_byte(), Seconds::nanos(2.0));
+    }
+
+    #[test]
+    fn zero_cost_rate_is_zero_guard() {
+        let m = CostModel::per_request(Seconds::ZERO);
+        assert_eq!(m.engine_rate(Bytes::new(100)), Bandwidth::ZERO);
+        assert_eq!(m.engine_request_rate(Bytes::new(100)), f64::INFINITY);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn time_is_monotone_in_size(
+                fixed_us in 0.01f64..100.0,
+                per_byte_ns in 0.0f64..10.0,
+                a in 1u64..100_000,
+                b in 1u64..100_000,
+            ) {
+                let m = CostModel::new(
+                    Seconds::micros(fixed_us),
+                    Seconds::nanos(per_byte_ns),
+                );
+                let (lo, hi) = (a.min(b), a.max(b));
+                prop_assert!(
+                    m.time(Bytes::new(hi)).as_secs() >= m.time(Bytes::new(lo)).as_secs()
+                );
+            }
+
+            #[test]
+            fn engine_rate_bounded_by_byte_cost(
+                fixed_us in 0.01f64..100.0,
+                per_byte_ns in 0.1f64..10.0,
+                size in 64u64..10_000,
+            ) {
+                // Rate can never exceed the pure per-byte ceiling
+                // 8 bits / per_byte.
+                let m = CostModel::new(
+                    Seconds::micros(fixed_us),
+                    Seconds::nanos(per_byte_ns),
+                );
+                let ceiling = 8.0 / (per_byte_ns * 1e-9);
+                prop_assert!(m.engine_rate(Bytes::new(size)).as_bps() <= ceiling + 1e-3);
+            }
+
+            #[test]
+            fn peak_linear_in_parallelism(
+                fixed_us in 0.01f64..10.0,
+                size in 64u64..10_000,
+                d in 1u32..64,
+            ) {
+                let m = CostModel::per_request(Seconds::micros(fixed_us));
+                let one = m.peak(Bytes::new(size), 1).as_bps();
+                let many = m.peak(Bytes::new(size), d).as_bps();
+                prop_assert!((many - one * d as f64).abs() <= one * d as f64 * 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The host server behind the SmartNIC (the testbed's Xeon machines,
+//! §4.1).
+//!
+//! E3 (the case-study-3 platform) migrates microservices between the
+//! NIC and the host when the NIC overloads; modeling the host lets the
+//! optimizer answer the *split* question — which chain stages belong
+//! on which side of the PCIe bus — rather than just the NIC-core
+//! allocation.
+
+use crate::cost::CostModel;
+use lognic_model::units::{Bandwidth, Seconds};
+
+/// The host-server profile (dual-socket Xeon, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HostXeon;
+
+impl HostXeon {
+    /// Cores available to offload-adjacent work (one socket's worth).
+    pub const CORES: u32 = 16;
+
+    /// Core clock in GHz.
+    pub const CORE_CLOCK_GHZ: f64 = 2.6;
+
+    /// Per-core speedup over a 1.5 GHz cnMIPS NIC core on
+    /// microservice-style code (wider issue, bigger caches).
+    pub const SPEEDUP_OVER_NIC_CORE: f64 = 3.0;
+
+    /// Effective PCIe 3.0 x16 data bandwidth.
+    pub fn pcie_bandwidth() -> Bandwidth {
+        Bandwidth::gbytes_per_sec(12.8)
+    }
+
+    /// One-way latency cost of crossing PCIe with a request descriptor
+    /// (doorbell + DMA setup), charged as the crossing stage's `O_i`.
+    pub fn pcie_crossing_overhead() -> Seconds {
+        Seconds::micros(0.9)
+    }
+
+    /// Converts a NIC-core stage cost into its host equivalent.
+    pub fn host_cost(nic_cost: CostModel) -> CostModel {
+        nic_cost.scaled(1.0 / Self::SPEEDUP_OVER_NIC_CORE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_model::units::Bytes;
+
+    #[test]
+    fn host_cores_are_faster() {
+        let nic = CostModel::per_request(Seconds::micros(3.0));
+        let host = HostXeon::host_cost(nic);
+        assert!((host.time(Bytes::new(512)).as_micros() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_profile_sane() {
+        assert!(HostXeon::pcie_bandwidth() > Bandwidth::gbps(100.0));
+        assert!(HostXeon::pcie_crossing_overhead().as_micros() < 2.0);
+        assert_eq!(HostXeon::CORES, 16);
+    }
+}

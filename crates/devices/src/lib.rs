@@ -1,0 +1,32 @@
+//! # lognic-devices
+//!
+//! Calibrated device profiles for the SmartNICs the LogNIC paper
+//! evaluates on:
+//!
+//! * [`liquidio`] — Marvell LiquidIO-II CN2360 (25 GbE, 16 cnMIPS
+//!   cores, on-/off-chip accelerators) — case studies #1 and #3.
+//! * [`stingray`] — Broadcom Stingray PS1100R JBOF with its NVMe SSD
+//!   (including a garbage-collecting simulation model and the paper's
+//!   curve-fitting characterization) — case study #2.
+//! * [`bluefield`] — NVIDIA BlueField-2 DPU (100 GbE, 8×A72, NF
+//!   accelerators) — case study #4.
+//! * [`panic`](mod@panic) — the PANIC academic prototype (RMT pipeline, switching
+//!   fabric, credit scheduler, compute units) — case study #5.
+//!
+//! Absolute numbers are calibrated against every anchor the paper
+//! publishes (§4 and DESIGN.md); where the paper gives no number, a
+//! plausible value with the right order of magnitude is chosen. The
+//! goal is *shape fidelity*: who wins, by what factor, and where
+//! saturation knees fall.
+
+#![warn(missing_docs)]
+
+pub mod bluefield;
+pub mod cost;
+pub mod host;
+pub mod liquidio;
+pub mod panic;
+pub mod rmt_switch;
+pub mod stingray;
+
+pub use cost::CostModel;

@@ -1,0 +1,294 @@
+//! Marvell LiquidIO-II CN2360 profile (Fig. 8 of the paper).
+//!
+//! A 25 GbE on-path Multicore-SoC SmartNIC: 16 cnMIPS cores at
+//! 1.5 GHz, 4 GB DRAM, on-chip cryptographic units (CRC, MD5, 3DES,
+//! AES, SMS4, KASUMI, SHA-1) reached over the coherent memory
+//! interconnect (CMI), and off-chip application-specific engines (ZIP,
+//! HFA) reached over the I/O interconnect.
+//!
+//! Calibration anchors (paper §4.2):
+//! * CMI bandwidth 50 Gb/s, I/O interconnect 40 Gb/s.
+//! * At 16 KB access granularity CRC/3DES/MD5/HFA reach
+//!   13.6/17.3/21.2/25.8 % of their peaks (Fig. 5) — pinning the peak
+//!   op rates at 2.80/2.21/1.80/1.18 MOPS.
+//! * At 25 Gb/s MTU line rate, MD5/KASUMI/HFA saturate with 9/8/11
+//!   NIC cores (Fig. 9) — pinning the per-core path costs.
+
+use crate::cost::CostModel;
+use lognic_model::params::HardwareModel;
+use lognic_model::roofline::IpRoofline;
+use lognic_model::units::{Bandwidth, Bytes, OpsRate, Seconds};
+
+/// The accelerator engines of the LiquidIO-II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Accelerator {
+    /// CRC32 checksum unit.
+    Crc,
+    /// Triple-DES crypto unit.
+    Des3,
+    /// MD5 digest unit.
+    Md5,
+    /// AES crypto unit.
+    Aes,
+    /// SHA-1 digest unit.
+    Sha1,
+    /// SMS4 (SM4) crypto unit.
+    Sms4,
+    /// KASUMI crypto unit.
+    Kasumi,
+    /// Hyper Finite Automata (regex) engine — off-chip.
+    Hfa,
+    /// (De)compression engine — off-chip.
+    Zip,
+}
+
+impl Accelerator {
+    /// Every accelerator on the card.
+    pub const ALL: [Accelerator; 9] = [
+        Accelerator::Crc,
+        Accelerator::Des3,
+        Accelerator::Md5,
+        Accelerator::Aes,
+        Accelerator::Sha1,
+        Accelerator::Sms4,
+        Accelerator::Kasumi,
+        Accelerator::Hfa,
+        Accelerator::Zip,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Accelerator::Crc => "CRC",
+            Accelerator::Des3 => "3DES",
+            Accelerator::Md5 => "MD5",
+            Accelerator::Aes => "AES",
+            Accelerator::Sha1 => "SHA-1",
+            Accelerator::Sms4 => "SMS4",
+            Accelerator::Kasumi => "KASUMI",
+            Accelerator::Hfa => "HFA",
+            Accelerator::Zip => "ZIP",
+        }
+    }
+}
+
+/// Which fabric feeds an accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// The coherent memory interconnect (on-chip crypto units).
+    CoherentMemory,
+    /// The I/O interconnect (off-chip HFA/ZIP engines).
+    Io,
+}
+
+impl Fabric {
+    /// The fabric's aggregate bandwidth.
+    pub fn bandwidth(self) -> Bandwidth {
+        match self {
+            Fabric::CoherentMemory => Bandwidth::gbps(50.0),
+            Fabric::Io => Bandwidth::gbps(40.0),
+        }
+    }
+
+    /// The fabric's name for rooflines and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fabric::CoherentMemory => "cmi",
+            Fabric::Io => "io-interconnect",
+        }
+    }
+}
+
+/// Characterized parameters of one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Which engine this describes.
+    pub kind: Accelerator,
+    /// Peak operation rate (one op consumes one data buffer).
+    pub peak_ops: OpsRate,
+    /// The fabric between NIC cores and the engine.
+    pub fabric: Fabric,
+    /// Fixed NIC-core overhead to submit to (and collect completion
+    /// from) this engine — the computation-transfer overhead `O_IP1`.
+    pub submit_cost: Seconds,
+}
+
+impl AcceleratorSpec {
+    /// The engine's extended roofline: peak ops with the fabric as the
+    /// bandwidth ceiling (Fig. 5).
+    pub fn roofline(&self) -> IpRoofline {
+        IpRoofline::new(self.peak_ops).with_ceiling(self.fabric.name(), self.fabric.bandwidth())
+    }
+
+    /// The engine's compute capacity expressed as a data rate when
+    /// each operation consumes `granularity` bytes (`P_IP2` at this
+    /// access size).
+    pub fn compute_rate(&self, granularity: Bytes) -> Bandwidth {
+        self.peak_ops.data_rate(granularity)
+    }
+}
+
+/// The LiquidIO-II CN2360 device profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiquidIo;
+
+impl LiquidIo {
+    /// The Ethernet line rate (25 GbE).
+    pub fn line_rate() -> Bandwidth {
+        Bandwidth::gbps(25.0)
+    }
+
+    /// Number of cnMIPS cores.
+    pub const CORES: u32 = 16;
+
+    /// Core clock in GHz.
+    pub const CORE_CLOCK_GHZ: f64 = 1.5;
+
+    /// The hardware model: the CMI as the shared interface, DRAM as
+    /// the memory subsystem.
+    pub fn hardware() -> HardwareModel {
+        HardwareModel::new(Fabric::CoherentMemory.bandwidth(), Bandwidth::gbps(102.0))
+    }
+
+    /// Base per-core packet-processing cost (L3/L4 handling of the UDP
+    /// echo server, no accelerator involved).
+    pub fn base_packet_cost() -> CostModel {
+        CostModel::new(Seconds::micros(1.2), Seconds::nanos(0.1))
+    }
+
+    /// Per-core cost of the full inline-acceleration path for one
+    /// accelerator: base processing plus its submission/completion
+    /// overhead. This is the `t_proc` whose calibrated MTU values are
+    /// 4.7 µs (MD5), 3.8 µs (KASUMI) and 9.0 µs (HFA), chosen so the
+    /// Fig. 9 saturation points land at 9/8/11 cores.
+    pub fn core_path_cost(accel: Accelerator) -> CostModel {
+        Self::base_packet_cost().plus_fixed(Self::accelerator(accel).submit_cost)
+    }
+
+    /// The characterized accelerator specs.
+    pub fn accelerator(kind: Accelerator) -> AcceleratorSpec {
+        let (peak_mops, fabric, submit_us) = match kind {
+            Accelerator::Crc => (2.80, Fabric::CoherentMemory, 0.80),
+            Accelerator::Des3 => (2.21, Fabric::CoherentMemory, 2.65),
+            Accelerator::Md5 => (1.80, Fabric::CoherentMemory, 3.35),
+            Accelerator::Aes => (2.40, Fabric::CoherentMemory, 2.45),
+            Accelerator::Sha1 => (1.60, Fabric::CoherentMemory, 2.35),
+            Accelerator::Sms4 => (1.40, Fabric::CoherentMemory, 2.55),
+            Accelerator::Kasumi => (2.00, Fabric::CoherentMemory, 2.45),
+            Accelerator::Hfa => (1.18, Fabric::Io, 7.65),
+            Accelerator::Zip => (0.90, Fabric::Io, 4.20),
+        };
+        AcceleratorSpec {
+            kind,
+            peak_ops: OpsRate::mops(peak_mops),
+            fabric,
+            submit_cost: Seconds::micros(submit_us),
+        }
+    }
+
+    /// NIC cores required to reach the inline path's saturation
+    /// plateau for `accel` at packet size `size` (the Fig. 9
+    /// saturation point). The plateau is the smaller of the line rate
+    /// and the accelerator's own compute rate at this size.
+    pub fn cores_to_saturate(accel: Accelerator, size: Bytes) -> u32 {
+        let spec = Self::accelerator(accel);
+        let plateau = spec.compute_rate(size).min(Self::line_rate());
+        let pps = plateau.as_bps() / size.bits() as f64;
+        let t = Self::core_path_cost(accel).time(size).as_secs();
+        (pps * t).ceil() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig9_core_saturation_anchors() {
+        let mtu = Bytes::new(1500);
+        assert_eq!(LiquidIo::cores_to_saturate(Accelerator::Md5, mtu), 9);
+        assert_eq!(LiquidIo::cores_to_saturate(Accelerator::Kasumi, mtu), 8);
+        assert_eq!(LiquidIo::cores_to_saturate(Accelerator::Hfa, mtu), 11);
+    }
+
+    #[test]
+    fn paper_fig5_granularity_anchors() {
+        // Fraction of peak at 16 KB access granularity.
+        let at16k = |a: Accelerator| {
+            let spec = LiquidIo::accelerator(a);
+            let r = spec.roofline();
+            r.attainable_ops(Bytes::kib(16)).as_per_sec() / spec.peak_ops.as_per_sec()
+        };
+        assert!((at16k(Accelerator::Crc) - 0.136).abs() < 0.004);
+        assert!((at16k(Accelerator::Des3) - 0.173).abs() < 0.004);
+        assert!((at16k(Accelerator::Md5) - 0.212).abs() < 0.004);
+        assert!((at16k(Accelerator::Hfa) - 0.258).abs() < 0.004);
+    }
+
+    #[test]
+    fn crypto_units_use_cmi_and_regex_uses_io() {
+        assert_eq!(
+            LiquidIo::accelerator(Accelerator::Aes).fabric,
+            Fabric::CoherentMemory
+        );
+        assert_eq!(LiquidIo::accelerator(Accelerator::Hfa).fabric, Fabric::Io);
+        assert_eq!(LiquidIo::accelerator(Accelerator::Zip).fabric, Fabric::Io);
+        assert_eq!(Fabric::CoherentMemory.bandwidth(), Bandwidth::gbps(50.0));
+        assert_eq!(Fabric::Io.bandwidth(), Bandwidth::gbps(40.0));
+    }
+
+    #[test]
+    fn fig10_ordering_of_engine_rates() {
+        // At 64 B the achieved bandwidth ordering follows peak op
+        // rates: CRC > AES > KASUMI > MD5 > SHA-1 > SMS4 > HFA.
+        let rate = |a| {
+            LiquidIo::accelerator(a)
+                .compute_rate(Bytes::new(64))
+                .as_gbps()
+        };
+        assert!(rate(Accelerator::Crc) > rate(Accelerator::Aes));
+        assert!(rate(Accelerator::Aes) > rate(Accelerator::Md5));
+        assert!(rate(Accelerator::Md5) > rate(Accelerator::Sha1));
+        assert!(rate(Accelerator::Sha1) > rate(Accelerator::Sms4));
+        assert!(rate(Accelerator::Sms4) > rate(Accelerator::Hfa));
+    }
+
+    #[test]
+    fn mtu_rates_reach_or_exceed_line_rate_for_fast_engines() {
+        // CRC and AES are line-rate bound at MTU; HFA is compute bound.
+        let mtu = Bytes::new(1500);
+        let line = LiquidIo::line_rate();
+        assert!(LiquidIo::accelerator(Accelerator::Crc).compute_rate(mtu) > line);
+        assert!(LiquidIo::accelerator(Accelerator::Aes).compute_rate(mtu) > line);
+        assert!(LiquidIo::accelerator(Accelerator::Hfa).compute_rate(mtu) < line);
+    }
+
+    #[test]
+    fn all_lists_every_engine_once() {
+        assert_eq!(Accelerator::ALL.len(), 9);
+        let names: std::collections::HashSet<_> =
+            Accelerator::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn hardware_model_uses_cmi_as_interface() {
+        let hw = LiquidIo::hardware();
+        assert_eq!(hw.interface_bandwidth(), Bandwidth::gbps(50.0));
+        assert!(hw.memory_bandwidth() > hw.interface_bandwidth());
+    }
+
+    #[test]
+    fn submit_cost_orders_core_requirements() {
+        // The HFA's heavy submission path needs the most cores.
+        let mtu = Bytes::new(1500);
+        let hfa = LiquidIo::cores_to_saturate(Accelerator::Hfa, mtu);
+        for a in Accelerator::ALL {
+            assert!(hfa >= LiquidIo::cores_to_saturate(a, mtu), "{}", a.name());
+        }
+        assert!(
+            hfa <= LiquidIo::CORES,
+            "saturation must be reachable on the card"
+        );
+    }
+}

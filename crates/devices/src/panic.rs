@@ -1,0 +1,137 @@
+//! The PANIC academic prototype profile (case study #5, §4.6).
+//!
+//! PANIC (OSDI '20) is a multi-tenant programmable NIC with four
+//! architectural components: an RMT pipeline producing per-packet
+//! offload descriptors, a switching fabric, a central credit-based
+//! scheduler, and a pool of compute units. LogNIC models the credit
+//! count of a compute unit as its queue capacity, the switching fabric
+//! as the shared interface, and the scheduler as a lightweight IP.
+//!
+//! The paper's three design-exploration scenarios build on the
+//! "Pipelined / Parallelized / Hybrid Chain" models of the original
+//! PANIC paper; the graph builders live in
+//! `lognic_workloads::panic_scenarios`, while this module holds the
+//! component characterization.
+
+use crate::cost::CostModel;
+use lognic_model::params::{HardwareModel, IpParams};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// The PANIC prototype profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Panic;
+
+impl Panic {
+    /// The prototype's line rate (100 GbE).
+    pub fn line_rate() -> Bandwidth {
+        Bandwidth::gbps(100.0)
+    }
+
+    /// Hardware model: the switching fabric as the interface (it
+    /// carries every hop between units), on-chip buffers as memory.
+    pub fn hardware() -> HardwareModel {
+        HardwareModel::new(Bandwidth::gbps(400.0), Bandwidth::gbps(400.0))
+    }
+
+    /// Per-packet cost of the RMT parse/descriptor stage. The pipeline
+    /// is deep, so it processes many packets concurrently.
+    pub fn rmt_cost() -> CostModel {
+        CostModel::per_request(Seconds::nanos(45.0))
+    }
+
+    /// RMT pipeline depth (concurrent packets in flight).
+    pub const RMT_DEPTH: u32 = 16;
+
+    /// `IpParams` of the RMT pipeline at packet size `size`.
+    pub fn rmt_params(size: Bytes) -> IpParams {
+        IpParams::new(Self::rmt_cost().peak(size, Self::RMT_DEPTH))
+            .with_parallelism(Self::RMT_DEPTH)
+            .with_queue_capacity(64)
+    }
+
+    /// Per-packet cost of the central scheduler's steering decision.
+    pub fn scheduler_cost() -> CostModel {
+        CostModel::per_request(Seconds::nanos(30.0))
+    }
+
+    /// Scheduler decision parallelism.
+    pub const SCHEDULER_LANES: u32 = 8;
+
+    /// `IpParams` of the central scheduler at packet size `size`.
+    pub fn scheduler_params(size: Bytes) -> IpParams {
+        IpParams::new(Self::scheduler_cost().peak(size, Self::SCHEDULER_LANES))
+            .with_parallelism(Self::SCHEDULER_LANES)
+            .with_queue_capacity(128)
+    }
+
+    /// A compute unit: `per_engine` data rate × `engines` parallel
+    /// engines, with `credits` of buffering (the scheduler only
+    /// forwards a packet to a unit holding a free credit, so the
+    /// credit count is the unit's queue capacity).
+    pub fn compute_unit(per_engine: Bandwidth, engines: u32, credits: u32) -> IpParams {
+        IpParams::new(per_engine * engines as f64)
+            .with_parallelism(engines)
+            .with_queue_capacity(credits)
+    }
+
+    /// The default credit provision of the original PANIC paper.
+    pub const DEFAULT_CREDITS: u32 = 8;
+
+    /// The three accelerators of the steering scenario with computing
+    /// throughput ratio 4:7:3 (Fig. 16/17), sized against the 100 Gb/s
+    /// line rate.
+    pub fn steering_units(credits: u32) -> [IpParams; 3] {
+        [
+            Self::compute_unit(Bandwidth::gbps(30.0), 1, credits),
+            Self::compute_unit(Bandwidth::gbps(52.5), 1, credits),
+            Self::compute_unit(Bandwidth::gbps(22.5), 1, credits),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmt_sustains_line_rate_at_64b() {
+        // 64 B at 100 Gb/s = 195 Mpps; the 16-deep pipeline at 45 ns
+        // per packet does 355 Mpps.
+        let p = Panic::rmt_params(Bytes::new(64));
+        let rate_pps = p.peak().as_bps() / (64.0 * 8.0);
+        assert!(rate_pps > 195e6, "rate = {rate_pps}");
+    }
+
+    #[test]
+    fn scheduler_sustains_line_rate_at_64b() {
+        let p = Panic::scheduler_params(Bytes::new(64));
+        let rate_pps = p.peak().as_bps() / (64.0 * 8.0);
+        assert!(
+            rate_pps > 130e6,
+            "well above typical offered loads: {rate_pps}"
+        );
+    }
+
+    #[test]
+    fn compute_unit_params() {
+        let u = Panic::compute_unit(Bandwidth::gbps(10.0), 4, 6);
+        assert_eq!(u.peak(), Bandwidth::gbps(40.0));
+        assert_eq!(u.parallelism(), 4);
+        assert_eq!(u.queue_capacity(), 6);
+    }
+
+    #[test]
+    fn steering_units_keep_paper_ratio() {
+        let [a1, a2, a3] = Panic::steering_units(Panic::DEFAULT_CREDITS);
+        let r21 = a2.peak().as_bps() / a1.peak().as_bps();
+        let r31 = a3.peak().as_bps() / a1.peak().as_bps();
+        assert!((r21 - 7.0 / 4.0).abs() < 1e-9);
+        assert!((r31 - 3.0 / 4.0).abs() < 1e-9);
+        assert_eq!(a1.queue_capacity(), 8);
+    }
+
+    #[test]
+    fn fabric_exceeds_line_rate() {
+        assert!(Panic::hardware().interface_bandwidth() > Panic::line_rate());
+    }
+}

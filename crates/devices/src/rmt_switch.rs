@@ -1,0 +1,86 @@
+//! A programmable RMT switch profile — the paper's §5.3 future work
+//! ("we believe the LogNIC model can support programmable switches by
+//! designing a new set of system interfaces"), implemented.
+//!
+//! The switch is a Tofino-class reconfigurable match-action pipeline:
+//! a deep, fixed-latency stage pipeline that processes one packet per
+//! clock per pipe, on-chip SRAM for match tables and registers, and a
+//! recirculation port for programs needing more passes. In LogNIC
+//! terms the pipeline is an IP with very high parallelism (the pipe
+//! depth) and a fixed per-packet service time; recirculation reuses
+//! [`lognic_model::transform::unroll_recirculation`].
+
+use crate::cost::CostModel;
+use lognic_model::params::{HardwareModel, IpParams};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// A Tofino-class RMT switch profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RmtSwitch;
+
+impl RmtSwitch {
+    /// Match-action stages per pipe.
+    pub const PIPELINE_STAGES: u32 = 12;
+
+    /// Per-pipe line rate (one 400 GbE-class pipe).
+    pub fn pipe_rate() -> Bandwidth {
+        Bandwidth::gbps(400.0)
+    }
+
+    /// The fixed pipeline traversal latency: every packet spends the
+    /// same time in the match-action stages regardless of size.
+    pub fn pipeline_latency() -> Seconds {
+        Seconds::nanos(400.0)
+    }
+
+    /// Hardware model: the on-chip crossbar and SRAM are sized far
+    /// beyond a single pipe's needs.
+    pub fn hardware() -> HardwareModel {
+        HardwareModel::new(Bandwidth::gbps(6400.0), Bandwidth::gbps(6400.0))
+    }
+
+    /// The pipeline as a cost model: fixed traversal time per packet.
+    pub fn pipeline_cost() -> CostModel {
+        CostModel::per_request(Self::pipeline_latency())
+    }
+
+    /// `IpParams` of one pipe at packet size `size`: the pipeline
+    /// holds one packet per stage, so its parallelism is the stage
+    /// depth and its packet rate is one per clock — expressed here as
+    /// the rate that saturates the pipe at 64 B.
+    pub fn pipe_params(size: Bytes) -> IpParams {
+        // A pipe forwards min-size packets at line rate: its packet
+        // rate capacity is pipe_rate / 64 B, independent of size.
+        let pps = Self::pipe_rate().as_bps() / (64.0 * 8.0);
+        IpParams::new(Bandwidth::bps(pps * size.bits() as f64))
+            .with_parallelism(Self::PIPELINE_STAGES)
+            .with_queue_capacity(128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipe_forwards_min_size_packets_at_line_rate() {
+        let p = RmtSwitch::pipe_params(Bytes::new(64));
+        assert!((p.peak().as_gbps() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packet_rate_is_size_independent() {
+        let small = RmtSwitch::pipe_params(Bytes::new(64));
+        let large = RmtSwitch::pipe_params(Bytes::new(1500));
+        let pps_small = small.peak().as_bps() / (64.0 * 8.0);
+        let pps_large = large.peak().as_bps() / (1500.0 * 8.0);
+        assert!((pps_small - pps_large).abs() / pps_small < 1e-12);
+    }
+
+    #[test]
+    fn pipeline_latency_is_fixed() {
+        let c = RmtSwitch::pipeline_cost();
+        assert_eq!(c.time(Bytes::new(64)), c.time(Bytes::new(1500)));
+        assert_eq!(c.time(Bytes::new(64)), Seconds::nanos(400.0));
+    }
+}

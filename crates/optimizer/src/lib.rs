@@ -1,0 +1,28 @@
+//! # lognic-optimizer
+//!
+//! The optimizer mode of LogNIC (§3.8, Fig. 4b): given a scenario
+//! whose configurable parameters (Table 2) are open — parallelism
+//! degrees, traffic splits, queue credits, placements — search for the
+//! configuration satisfying the stipulated performance goals.
+//!
+//! * [`problem`] — the generic constrained-optimization facade:
+//!   objective + box bounds + weighted constraints, solved by
+//!   penalized Nelder–Mead (the paper uses SciPy's SLSQP; all its
+//!   studies are low-dimensional, where the simplex method with
+//!   penalties is equally effective and dependency-free).
+//! * [`nelder_mead`], [`search`] — the underlying primitives
+//!   (simplex descent, golden-section, discrete arg-min/arg-max,
+//!   minimal-satisfying scans).
+//! * [`suggest`] — per-case-study entry points reproducing the
+//!   paper's suggestions: core allocations (§4.4), NF placements
+//!   (§4.5), credits, steering splits and parallel degrees (§4.6).
+
+#![warn(missing_docs)]
+
+pub mod nelder_mead;
+pub mod problem;
+pub mod search;
+pub mod suggest;
+
+pub use nelder_mead::{minimize, minimize_multistart, NelderMeadOptions, Solution};
+pub use problem::{Goal, Outcome, Problem};

@@ -1,0 +1,368 @@
+//! A Nelder–Mead downhill-simplex minimizer.
+//!
+//! The paper's optimizer uses SciPy's SLSQP with penalty handling and
+//! names Nelder–Mead as the local-search alternative (§3.8). All of
+//! the paper's design-space problems are low-dimensional (≤ 8
+//! variables), for which Nelder–Mead with bound clamping and penalty
+//! constraints is robust and dependency-free.
+
+/// Options controlling the simplex search.
+#[derive(Debug, Clone, Copy)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Convergence tolerance on the simplex's objective spread.
+    pub tolerance: f64,
+    /// Initial simplex step per dimension (relative to the bound
+    /// range).
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 2000,
+            tolerance: 1e-10,
+            initial_step: 0.15,
+        }
+    }
+}
+
+/// The result of a minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// The objective value at `x`.
+    pub value: f64,
+    /// Objective evaluations consumed.
+    pub evals: usize,
+}
+
+fn clamp(x: &mut [f64], bounds: &[(f64, f64)]) {
+    for (v, (lo, hi)) in x.iter_mut().zip(bounds) {
+        *v = v.clamp(*lo, *hi);
+    }
+}
+
+/// Minimizes `f` over the box `bounds`, starting from `start`.
+///
+/// Points are clamped into the box before evaluation, so `f` is never
+/// called outside it. Returns the best point found; for non-convex
+/// objectives this is a local minimum (restart from other points to
+/// explore).
+///
+/// # Panics
+///
+/// Panics if `start` and `bounds` have different or zero lengths, or
+/// if any bound is inverted.
+pub fn minimize<F>(
+    mut f: F,
+    start: &[f64],
+    bounds: &[(f64, f64)],
+    options: NelderMeadOptions,
+) -> Solution
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = start.len();
+    assert!(n > 0, "need at least one dimension");
+    assert_eq!(n, bounds.len(), "bounds must match dimensionality");
+    for (lo, hi) in bounds {
+        assert!(lo <= hi, "inverted bound [{lo}, {hi}]");
+    }
+
+    let mut evals = 0usize;
+    let mut eval = |x: &mut Vec<f64>, evals: &mut usize| -> f64 {
+        clamp(x, bounds);
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: start plus one perturbed vertex per dimension.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let mut x0 = start.to_vec();
+    let v0 = eval(&mut x0, &mut evals);
+    simplex.push((x0, v0));
+    for i in 0..n {
+        let mut x = start.to_vec();
+        let span = (bounds[i].1 - bounds[i].0).max(1e-12);
+        x[i] += options.initial_step * span;
+        let v = eval(&mut x, &mut evals);
+        simplex.push((x, v));
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    while evals < options.max_evals {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are ordered"));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < options.tolerance {
+            // A flat simplex is converged only if it is also small;
+            // vertices symmetric around the minimum have equal values
+            // at any distance. Shrink instead of stopping.
+            let diameter: f64 = simplex
+                .iter()
+                .flat_map(|(x, _)| {
+                    let best = &simplex[0].0;
+                    x.iter()
+                        .zip(best)
+                        .map(|(a, b)| (a - b).abs())
+                        .collect::<Vec<_>>()
+                })
+                .fold(0.0, f64::max);
+            if diameter < 1e-7 {
+                break;
+            }
+            let best = simplex[0].0.clone();
+            for vert in simplex.iter_mut().skip(1) {
+                let mut x: Vec<f64> = best
+                    .iter()
+                    .zip(&vert.0)
+                    .map(|(b, v)| b + sigma * (v - b))
+                    .collect();
+                let fv = eval(&mut x, &mut evals);
+                *vert = (x, fv);
+            }
+            continue;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in &simplex[..n] {
+            for (c, v) in centroid.iter_mut().zip(x) {
+                *c += v / n as f64;
+            }
+        }
+        let worst = simplex[n].clone();
+
+        let mut reflected: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + alpha * (c - w))
+            .collect();
+        let fr = eval(&mut reflected, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Expansion.
+            let mut expanded: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + gamma * (c - w))
+                .collect();
+            let fe = eval(&mut expanded, &mut evals);
+            simplex[n] = if fe < fr {
+                (expanded, fe)
+            } else {
+                (reflected, fr)
+            };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflected, fr);
+        } else {
+            // Contraction.
+            let mut contracted: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + rho * (w - c))
+                .collect();
+            let fc = eval(&mut contracted, &mut evals);
+            if fc < worst.1 {
+                simplex[n] = (contracted, fc);
+            } else {
+                // Shrink toward the best vertex.
+                let best = simplex[0].0.clone();
+                for vert in simplex.iter_mut().skip(1) {
+                    let mut x: Vec<f64> = best
+                        .iter()
+                        .zip(&vert.0)
+                        .map(|(b, v)| b + sigma * (v - b))
+                        .collect();
+                    let fv = eval(&mut x, &mut evals);
+                    *vert = (x, fv);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective values are ordered"));
+    let (x, value) = simplex.swap_remove(0);
+    Solution { x, value, evals }
+}
+
+/// Multi-start Nelder–Mead: runs [`minimize`] from a deterministic
+/// lattice of starting points across the box and keeps the best
+/// result. Cheap insurance against local minima on the non-convex
+/// design spaces the optimizer explores (placement × parallelism
+/// landscapes).
+///
+/// `starts_per_dim` points are placed per dimension (capped so the
+/// total start count stays below ~64).
+///
+/// # Panics
+///
+/// Panics on empty or inverted bounds (see [`minimize`]).
+pub fn minimize_multistart<F>(
+    mut f: F,
+    bounds: &[(f64, f64)],
+    starts_per_dim: usize,
+    options: NelderMeadOptions,
+) -> Solution
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = bounds.len();
+    assert!(n > 0, "need at least one dimension");
+    let per_dim = starts_per_dim
+        .max(1)
+        .min((64f64.powf(1.0 / n as f64)).floor() as usize)
+        .max(1);
+    let total = per_dim.pow(n as u32);
+    let mut best: Option<Solution> = None;
+    for idx in 0..total {
+        let mut start = Vec::with_capacity(n);
+        let mut rem = idx;
+        for (lo, hi) in bounds {
+            let slot = rem % per_dim;
+            rem /= per_dim;
+            let frac = (slot as f64 + 0.5) / per_dim as f64;
+            start.push(lo + frac * (hi - lo));
+        }
+        let sol = minimize(&mut f, &start, bounds, options);
+        if best.as_ref().is_none_or(|b| sol.value < b.value) {
+            best = Some(sol);
+        }
+    }
+    best.expect("at least one start")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let sol = minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            &[(-10.0, 10.0), (-10.0, 10.0)],
+            NelderMeadOptions::default(),
+        );
+        assert!((sol.x[0] - 3.0).abs() < 1e-4, "{:?}", sol.x);
+        assert!((sol.x[1] + 1.0).abs() < 1e-4, "{:?}", sol.x);
+        assert!(sol.value < 1e-7);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let sol = minimize(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            &[(-5.0, 5.0), (-5.0, 5.0)],
+            NelderMeadOptions {
+                max_evals: 5000,
+                ..NelderMeadOptions::default()
+            },
+        );
+        assert!((sol.x[0] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+        assert!((sol.x[1] - 1.0).abs() < 1e-3, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // Unconstrained optimum at x = −5, box at [0, 10].
+        let sol = minimize(
+            |x| (x[0] + 5.0).powi(2),
+            &[5.0],
+            &[(0.0, 10.0)],
+            NelderMeadOptions::default(),
+        );
+        assert!(sol.x[0] >= 0.0);
+        assert!(sol.x[0] < 1e-3, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        // In one dimension the simplex degenerates to two points and
+        // converges only linearly; golden-section is the precise 1-D
+        // tool. Nelder-Mead should still land close.
+        let sol = minimize(
+            |x| (x[0] - 0.25).powi(2),
+            &[0.9],
+            &[(0.0, 1.0)],
+            NelderMeadOptions::default(),
+        );
+        assert!((sol.x[0] - 0.25).abs() < 5e-3, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let mut count = 0usize;
+        let sol = minimize(
+            |x| {
+                count += 1;
+                x[0] * x[0]
+            },
+            &[4.0],
+            &[(-5.0, 5.0)],
+            NelderMeadOptions {
+                max_evals: 20,
+                ..NelderMeadOptions::default()
+            },
+        );
+        assert!(
+            count <= 25,
+            "small overshoot from the final iteration only: {count}"
+        );
+        assert_eq!(sol.evals, count);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must match")]
+    fn mismatched_bounds_panic() {
+        let _ = minimize(
+            |x| x[0],
+            &[0.0, 1.0],
+            &[(0.0, 1.0)],
+            NelderMeadOptions::default(),
+        );
+    }
+
+    #[test]
+    fn multistart_escapes_local_minimum() {
+        // A double well: local minimum near x = −2 (value 1), global
+        // near x = 3 (value 0). Single-start from the left basin gets
+        // trapped; multistart finds the global one.
+        let well = |x: &[f64]| {
+            let a = (x[0] + 2.0).powi(2) + 1.0;
+            let b = (x[0] - 3.0).powi(2);
+            a.min(b)
+        };
+        let single = minimize(well, &[-4.0], &[(-5.0, 5.0)], NelderMeadOptions::default());
+        assert!(
+            (single.x[0] + 2.0).abs() < 0.1,
+            "trapped at the local well: {:?}",
+            single.x
+        );
+        let multi = minimize_multistart(well, &[(-5.0, 5.0)], 8, NelderMeadOptions::default());
+        assert!((multi.x[0] - 3.0).abs() < 0.05, "{:?}", multi.x);
+        assert!(multi.value < 1e-4);
+    }
+
+    #[test]
+    fn multistart_caps_total_starts_in_high_dimensions() {
+        // 4 dimensions at 8 starts/dim would be 4096 starts; the cap
+        // keeps it tractable, and the bowl is still solved.
+        let mut evals = 0usize;
+        let sol = minimize_multistart(
+            |x| {
+                evals += 1;
+                x.iter().map(|v| v * v).sum()
+            },
+            &[(-1.0, 1.0); 4],
+            8,
+            NelderMeadOptions {
+                max_evals: 300,
+                ..NelderMeadOptions::default()
+            },
+        );
+        assert!(sol.value < 1e-4, "{sol:?}");
+        assert!(evals < 30_000, "evals = {evals}");
+    }
+}

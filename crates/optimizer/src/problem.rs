@@ -1,0 +1,250 @@
+//! The interactive optimizer of Fig. 4b: an objective, box bounds and
+//! weighted constraints, solved by penalized Nelder–Mead.
+//!
+//! The paper's workflow: define the objective (maximize
+//! `P_attainable`, minimize `T_attainable`, …) and the system
+//! constraints (bus speeds, parallelism limits, latency bounds),
+//! solve, and — if no feasible solution emerges — relax goals or
+//! constraints and retry. The relax-and-retry loop belongs to the
+//! caller; [`Problem::solve`] reports which constraints ended up
+//! violated so the caller can decide what to relax.
+
+use crate::nelder_mead::{minimize, NelderMeadOptions, Solution};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Goal {
+    /// Smaller objective values are better (e.g. latency).
+    Minimize,
+    /// Larger objective values are better (e.g. throughput).
+    Maximize,
+}
+
+/// A boxed constraint function `g(x) ≤ 0`.
+type ConstraintFn<'a> = Box<dyn Fn(&[f64]) -> f64 + 'a>;
+
+/// One inequality constraint `g(x) ≤ 0`, with a weight expressing the
+/// designer's priority among alternatives (§3.8).
+pub struct Constraint<'a> {
+    name: String,
+    g: ConstraintFn<'a>,
+    weight: f64,
+}
+
+impl std::fmt::Debug for Constraint<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Constraint")
+            .field("name", &self.name)
+            .field("weight", &self.weight)
+            .finish()
+    }
+}
+
+/// The outcome of solving a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// The best point found and its (unpenalized) objective value.
+    pub solution: Solution,
+    /// True when every constraint holds at the solution (within
+    /// 1e-6).
+    pub feasible: bool,
+    /// Names of constraints violated at the solution.
+    pub violated: Vec<String>,
+}
+
+/// A constrained optimization problem over continuous parameters.
+///
+/// # Examples
+///
+/// Maximize `x·y` on the unit box subject to `x + y ≤ 1`:
+///
+/// ```
+/// use lognic_optimizer::problem::{Goal, Problem};
+///
+/// let outcome = Problem::new(Goal::Maximize, |x| x[0] * x[1])
+///     .bound(0.0, 1.0)
+///     .bound(0.0, 1.0)
+///     .constraint("budget", 1.0, |x| x[0] + x[1] - 1.0)
+///     .solve(&[0.1, 0.1]);
+/// assert!(outcome.feasible);
+/// assert!((outcome.solution.x[0] - 0.5).abs() < 1e-3);
+/// ```
+pub struct Problem<'a, F> {
+    goal: Goal,
+    objective: F,
+    bounds: Vec<(f64, f64)>,
+    constraints: Vec<Constraint<'a>>,
+    penalty: f64,
+    options: NelderMeadOptions,
+}
+
+impl<F> std::fmt::Debug for Problem<'_, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Problem")
+            .field("goal", &self.goal)
+            .field("bounds", &self.bounds)
+            .field("constraints", &self.constraints)
+            .field("penalty", &self.penalty)
+            .finish()
+    }
+}
+
+impl<'a, F> Problem<'a, F>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    /// Creates a problem with the given goal and objective.
+    pub fn new(goal: Goal, objective: F) -> Self {
+        Problem {
+            goal,
+            objective,
+            bounds: Vec::new(),
+            constraints: Vec::new(),
+            penalty: 1e6,
+            options: NelderMeadOptions::default(),
+        }
+    }
+
+    /// Appends a box bound for the next parameter dimension.
+    pub fn bound(mut self, lo: f64, hi: f64) -> Self {
+        self.bounds.push((lo, hi));
+        self
+    }
+
+    /// Adds a constraint `g(x) ≤ 0` with a priority weight.
+    pub fn constraint<G>(mut self, name: &str, weight: f64, g: G) -> Self
+    where
+        G: Fn(&[f64]) -> f64 + 'a,
+    {
+        self.constraints.push(Constraint {
+            name: name.to_owned(),
+            g: Box::new(g),
+            weight,
+        });
+        self
+    }
+
+    /// Overrides the penalty multiplier for constraint violations.
+    pub fn penalty_weight(mut self, penalty: f64) -> Self {
+        self.penalty = penalty;
+        self
+    }
+
+    /// Overrides the inner solver options.
+    pub fn options(mut self, options: NelderMeadOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Solves from a starting point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start.len()` disagrees with the declared bounds.
+    pub fn solve(mut self, start: &[f64]) -> Outcome {
+        assert_eq!(
+            start.len(),
+            self.bounds.len(),
+            "start must match declared bounds"
+        );
+        let sign = match self.goal {
+            Goal::Minimize => 1.0,
+            Goal::Maximize => -1.0,
+        };
+        let penalty = self.penalty;
+        let constraints = &self.constraints;
+        let objective = &mut self.objective;
+        let penalized = |x: &[f64]| -> f64 {
+            let base = sign * objective(x);
+            let viol: f64 = constraints
+                .iter()
+                .map(|c| {
+                    let v = (c.g)(x).max(0.0);
+                    c.weight * v * v
+                })
+                .sum();
+            base + penalty * viol
+        };
+        let mut solution = minimize(penalized, start, &self.bounds, self.options);
+        // Report the raw objective value, not the penalized one.
+        solution.value = (self.objective)(&solution.x);
+        let violated: Vec<String> = self
+            .constraints
+            .iter()
+            .filter(|c| (c.g)(&solution.x) > 1e-6)
+            .map(|c| c.name.clone())
+            .collect();
+        Outcome {
+            feasible: violated.is_empty(),
+            violated,
+            solution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_maximization() {
+        let outcome = Problem::new(Goal::Maximize, |x: &[f64]| -(x[0] - 2.0).powi(2) + 5.0)
+            .bound(-10.0, 10.0)
+            .solve(&[0.0]);
+        assert!(outcome.feasible);
+        assert!((outcome.solution.x[0] - 2.0).abs() < 1e-4);
+        assert!((outcome.solution.value - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constraint_binds_at_boundary() {
+        // max x on [0, 10] s.t. x ≤ 3.
+        let outcome = Problem::new(Goal::Maximize, |x: &[f64]| x[0])
+            .bound(0.0, 10.0)
+            .constraint("cap", 1.0, |x| x[0] - 3.0)
+            .solve(&[1.0]);
+        assert!(outcome.feasible, "violated: {:?}", outcome.violated);
+        assert!(
+            (outcome.solution.x[0] - 3.0).abs() < 1e-2,
+            "{:?}",
+            outcome.solution.x
+        );
+    }
+
+    #[test]
+    fn infeasible_problem_reports_violations() {
+        // x ≤ −1 cannot hold on [0, 1].
+        let outcome = Problem::new(Goal::Minimize, |x: &[f64]| x[0])
+            .bound(0.0, 1.0)
+            .constraint("impossible", 1.0, |x| x[0] + 1.0)
+            .solve(&[0.5]);
+        assert!(!outcome.feasible);
+        assert_eq!(outcome.violated, vec!["impossible".to_owned()]);
+    }
+
+    #[test]
+    fn reported_value_is_unpenalized() {
+        let outcome = Problem::new(Goal::Minimize, |x: &[f64]| x[0] * x[0])
+            .bound(-1.0, 1.0)
+            .constraint("off", 1.0, |x| 0.5 - x[0]) // x ≥ 0.5
+            .solve(&[0.0]);
+        // Objective value at the solution is x², not x² + penalty.
+        let x = outcome.solution.x[0];
+        assert!((outcome.solution.value - x * x).abs() < 1e-12);
+        assert!(outcome.feasible);
+        assert!((x - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn weighted_constraints_prioritize() {
+        // Two incompatible soft goals: x ≤ 0.2 (weight 100) and
+        // x ≥ 0.8 (weight 1). The heavier one wins.
+        let outcome = Problem::new(Goal::Minimize, |_: &[f64]| 0.0)
+            .bound(0.0, 1.0)
+            .penalty_weight(1.0)
+            .constraint("low", 100.0, |x| x[0] - 0.2)
+            .constraint("high", 1.0, |x| 0.8 - x[0])
+            .solve(&[0.5]);
+        assert!(outcome.solution.x[0] < 0.3, "{:?}", outcome.solution.x);
+    }
+}

@@ -1,0 +1,124 @@
+//! One-dimensional and discrete search primitives.
+
+/// Golden-section minimization of a unimodal function on `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+pub fn golden_section<F>(mut f: F, lo: f64, hi: f64, tolerance: f64) -> f64
+where
+    F: FnMut(f64) -> f64,
+{
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo <= hi,
+        "invalid interval [{lo}, {hi}]"
+    );
+    let inv_phi = (5f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    while (b - a).abs() > tolerance {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    (a + b) / 2.0
+}
+
+/// The argument in `candidates` minimizing `f` (first winner on ties).
+///
+/// Returns `None` for an empty candidate list.
+pub fn argmin_over<T: Copy, F>(candidates: impl IntoIterator<Item = T>, mut f: F) -> Option<T>
+where
+    F: FnMut(T) -> f64,
+{
+    let mut best: Option<(T, f64)> = None;
+    for c in candidates {
+        let v = f(c);
+        if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+            best = Some((c, v));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// The argument in `candidates` maximizing `f` (first winner on ties).
+///
+/// Returns `None` for an empty candidate list.
+pub fn argmax_over<T: Copy, F>(candidates: impl IntoIterator<Item = T>, mut f: F) -> Option<T>
+where
+    F: FnMut(T) -> f64,
+{
+    argmin_over(candidates, |c| -f(c))
+}
+
+/// The smallest integer in `lo..=hi` satisfying a monotone predicate,
+/// found by linear scan (`hi` when none satisfies it). Used for
+/// minimal-resource questions: credits, parallel degrees.
+pub fn min_satisfying<F>(lo: u32, hi: u32, mut predicate: F) -> u32
+where
+    F: FnMut(u32) -> bool,
+{
+    for v in lo..hi {
+        if predicate(v) {
+            return v;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_minimum() {
+        let x = golden_section(|x| (x - 0.56).powi(2), 0.0, 0.8, 1e-9);
+        assert!((x - 0.56).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn golden_handles_boundary_minimum() {
+        let x = golden_section(|x| x, 2.0, 5.0, 1e-9);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid interval")]
+    fn golden_rejects_inverted_interval() {
+        let _ = golden_section(|x| x, 5.0, 2.0, 1e-9);
+    }
+
+    #[test]
+    fn argmin_and_argmax() {
+        assert_eq!(argmin_over(1..=10, |x| ((x as f64) - 7.2).abs()), Some(7));
+        assert_eq!(
+            argmax_over(1..=10, |x| -((x as f64) - 3.0).powi(2)),
+            Some(3)
+        );
+        assert_eq!(argmin_over(std::iter::empty::<u32>(), |_| 0.0), None);
+    }
+
+    #[test]
+    fn argmin_first_wins_ties() {
+        assert_eq!(argmin_over([3u32, 1, 2, 1], |_| 1.0), Some(3));
+    }
+
+    #[test]
+    fn min_satisfying_scans() {
+        assert_eq!(min_satisfying(1, 8, |v| v * v >= 10), 4);
+        assert_eq!(min_satisfying(1, 8, |_| false), 8);
+        assert_eq!(min_satisfying(1, 8, |_| true), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic random numbers for reproducible simulations.
+
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source. Every simulation run with the same seed and
+/// configuration produces identical results.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(), b.uniform());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// An exponentially distributed interval with the given mean.
+    /// Returns zero when the mean is zero.
+    pub fn exponential(&mut self, mean: SimTime) -> SimTime {
+        if mean == SimTime::ZERO {
+            return SimTime::ZERO;
+        }
+        // Inverse CDF; guard against ln(0).
+        let u = loop {
+            let u = self.uniform();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let factor = -u.ln();
+        SimTime::from_picos((mean.as_picos() as f64 * factor).round() as u64)
+    }
+
+    /// Picks an index from cumulative weights `cum` (non-decreasing,
+    /// last element is the total). Returns `cum.len() - 1` when the
+    /// draw lands beyond the last boundary (floating-point slack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cum` is empty.
+    pub fn pick_cumulative(&mut self, cum: &[f64]) -> usize {
+        assert!(!cum.is_empty(), "cumulative weights must be non-empty");
+        let total = *cum.last().expect("non-empty");
+        let draw = self.uniform() * total;
+        cum.iter().position(|&c| draw < c).unwrap_or(cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..10).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = SimRng::seed_from(11);
+        let mean = SimTime::from_micros(5.0);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exponential(mean).as_micros()).sum();
+        let sample_mean = total / n as f64;
+        assert!(
+            (sample_mean - 5.0).abs() < 0.15,
+            "sample mean {sample_mean} too far from 5.0"
+        );
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut r = SimRng::seed_from(1);
+        assert_eq!(r.exponential(SimTime::ZERO), SimTime::ZERO);
+    }
+
+    #[test]
+    fn pick_cumulative_respects_weights() {
+        let mut r = SimRng::seed_from(5);
+        // 25% / 75%.
+        let cum = [0.25, 1.0];
+        let n = 10_000;
+        let ones = (0..n).filter(|_| r.pick_cumulative(&cum) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn pick_cumulative_single_entry() {
+        let mut r = SimRng::seed_from(5);
+        for _ in 0..10 {
+            assert_eq!(r.pick_cumulative(&[1.0]), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn pick_cumulative_empty_panics() {
+        let mut r = SimRng::seed_from(5);
+        let _ = r.pick_cumulative(&[]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Traffic generation: arrival processes and packet-size sampling.
+//!
+//! The generator realizes a [`TrafficProfile`] as a packet stream whose
+//! long-run byte rate equals the profile's `BW_in` and whose sizes
+//! follow `dist_size`. Three arrival processes are provided; the
+//! analytical model assumes Poisson (§3.6).
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use lognic_model::params::TrafficProfile;
+use lognic_model::units::Bytes;
+
+/// The packet arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals (exponential inter-arrival gaps) — the
+    /// data-center default and the model's assumption.
+    #[default]
+    Poisson,
+    /// Fully paced arrivals: each packet is spaced by exactly its own
+    /// serialization time at `BW_in`.
+    Paced,
+    /// Bursts of `burst` back-to-back packets, with the inter-burst
+    /// gap sized to preserve the average rate.
+    Bursty {
+        /// Packets per burst (≥ 1).
+        burst: u32,
+    },
+}
+
+/// Generates the packet stream for one ingress port.
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    byte_rate: f64,
+    mean_size: f64,
+    sizes: Vec<Bytes>,
+    cumulative: Vec<f64>,
+    process: ArrivalProcess,
+    next_id: u64,
+    burst_left: u32,
+}
+
+/// One generated packet descriptor: the gap since the previous
+/// injection, the wire size and the traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Injection {
+    /// Time gap from the previous injection.
+    pub gap: SimTime,
+    /// Packet id.
+    pub id: u64,
+    /// Packet size.
+    pub size: Bytes,
+    /// Traffic class (index into the profile's `dist_size`).
+    pub class: u32,
+}
+
+impl TrafficSource {
+    /// Creates a source for the given profile and arrival process.
+    pub fn new(profile: &TrafficProfile, process: ArrivalProcess) -> Self {
+        let entries = profile.sizes().entries();
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for (_, w) in entries {
+            acc += w;
+            cumulative.push(acc);
+        }
+        TrafficSource {
+            byte_rate: profile.ingress_bandwidth().as_bytes_per_sec(),
+            mean_size: entries.iter().map(|(s, w)| s.as_f64() * w).sum(),
+            sizes: entries.iter().map(|(s, _)| *s).collect(),
+            cumulative,
+            process,
+            next_id: 0,
+            burst_left: 0,
+        }
+    }
+
+    /// True when the source will never produce a packet (zero rate).
+    pub fn is_silent(&self) -> bool {
+        self.byte_rate <= 0.0
+    }
+
+    /// Draws the next injection.
+    pub fn next_injection(&mut self, rng: &mut SimRng) -> Injection {
+        let class = rng.pick_cumulative(&self.cumulative) as u32;
+        let size = self.sizes[class as usize];
+        let mean_gap_secs = size.as_f64() / self.byte_rate;
+        let gap = match self.process {
+            // A true (marked) Poisson process: inter-arrival gaps are
+            // iid at the mean packet rate, independent of the size
+            // just drawn. Size-correlated gaps would cluster small
+            // packets and break the model's M/M/1 assumption.
+            ArrivalProcess::Poisson => {
+                rng.exponential(SimTime::from_secs(self.mean_size / self.byte_rate))
+            }
+            ArrivalProcess::Paced => SimTime::from_secs(mean_gap_secs),
+            ArrivalProcess::Bursty { burst } => {
+                let burst = burst.max(1);
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    SimTime::ZERO
+                } else {
+                    self.burst_left = burst - 1;
+                    SimTime::from_secs(mean_gap_secs * burst as f64)
+                }
+            }
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        Injection {
+            gap,
+            id,
+            size,
+            class,
+        }
+    }
+}
+
+/// A recorded packet trace: absolute injection times, sizes and
+/// classes. Traces realize the paper's *empirical* traffic profiles —
+/// replaying a capture instead of sampling a synthetic distribution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<(SimTime, Bytes, u32)>,
+}
+
+impl Trace {
+    /// Builds a trace from absolute `(time, size, class)` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the events are not sorted by time.
+    pub fn from_events(events: Vec<(SimTime, Bytes, u32)>) -> Self {
+        assert!(
+            events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace events must be time-sorted"
+        );
+        Trace { events }
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes across the trace.
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(|(_, s, _)| s.get()).sum()
+    }
+
+    /// The trace's span (time of the last event).
+    pub fn span(&self) -> SimTime {
+        self.events
+            .last()
+            .map(|(t, _, _)| *t)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The trace's mean byte rate in bits per second (zero for traces
+    /// spanning no time).
+    pub fn mean_rate_bps(&self) -> f64 {
+        let span = self.span().as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / span
+    }
+
+    /// A replay cursor over the trace.
+    pub fn cursor(&self) -> TraceCursor {
+        TraceCursor {
+            events: self.events.clone(),
+            idx: 0,
+            last: SimTime::ZERO,
+        }
+    }
+}
+
+/// Replays a [`Trace`] as a sequence of [`Injection`]s.
+#[derive(Debug, Clone)]
+pub struct TraceCursor {
+    events: Vec<(SimTime, Bytes, u32)>,
+    idx: usize,
+    last: SimTime,
+}
+
+impl TraceCursor {
+    /// The next injection, or `None` when the trace is exhausted.
+    pub fn next_injection(&mut self) -> Option<Injection> {
+        let (t, size, class) = *self.events.get(self.idx)?;
+        let gap = t.since(self.last);
+        self.last = t;
+        let id = self.idx as u64;
+        self.idx += 1;
+        Some(Injection {
+            gap,
+            id,
+            size,
+            class,
+        })
+    }
+
+    /// Packets remaining.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_model::params::PacketSizeDist;
+    use lognic_model::units::Bandwidth;
+
+    fn profile(gbps: f64, size: u64) -> TrafficProfile {
+        TrafficProfile::fixed(Bandwidth::gbps(gbps), Bytes::new(size))
+    }
+
+    fn long_run_rate(src: &mut TrafficSource, rng: &mut SimRng, n: usize) -> f64 {
+        let mut t = SimTime::ZERO;
+        let mut bytes = 0u64;
+        for _ in 0..n {
+            let inj = src.next_injection(rng);
+            t += inj.gap;
+            bytes += inj.size.get();
+        }
+        bytes as f64 * 8.0 / t.as_secs()
+    }
+
+    #[test]
+    fn paced_rate_is_exact() {
+        let mut src = TrafficSource::new(&profile(10.0, 1000), ArrivalProcess::Paced);
+        let mut rng = SimRng::seed_from(1);
+        let rate = long_run_rate(&mut src, &mut rng, 1000);
+        assert!((rate - 10e9).abs() / 10e9 < 1e-6, "rate = {rate}");
+    }
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut src = TrafficSource::new(&profile(10.0, 1000), ArrivalProcess::Poisson);
+        let mut rng = SimRng::seed_from(2);
+        let rate = long_run_rate(&mut src, &mut rng, 50_000);
+        assert!((rate - 10e9).abs() / 10e9 < 0.02, "rate = {rate}");
+    }
+
+    #[test]
+    fn bursty_rate_converges_and_bursts_are_back_to_back() {
+        let mut src = TrafficSource::new(&profile(10.0, 1000), ArrivalProcess::Bursty { burst: 4 });
+        let mut rng = SimRng::seed_from(3);
+        // First injection opens a burst with a gap; next 3 have zero gap.
+        let first = src.next_injection(&mut rng);
+        assert!(first.gap > SimTime::ZERO);
+        for _ in 0..3 {
+            assert_eq!(src.next_injection(&mut rng).gap, SimTime::ZERO);
+        }
+        assert!(src.next_injection(&mut rng).gap > SimTime::ZERO);
+        let rate = long_run_rate(&mut src, &mut rng, 10_000);
+        assert!((rate - 10e9).abs() / 10e9 < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn mixture_classes_follow_weights() {
+        let dist = PacketSizeDist::mix([(Bytes::new(64), 0.25), (Bytes::new(1500), 0.75)]).unwrap();
+        let t = TrafficProfile::new(Bandwidth::gbps(10.0), dist);
+        let mut src = TrafficSource::new(&t, ArrivalProcess::Paced);
+        let mut rng = SimRng::seed_from(4);
+        let n = 20_000;
+        let mut class1 = 0;
+        for _ in 0..n {
+            let inj = src.next_injection(&mut rng);
+            if inj.class == 1 {
+                class1 += 1;
+                assert_eq!(inj.size, Bytes::new(1500));
+            } else {
+                assert_eq!(inj.size, Bytes::new(64));
+            }
+        }
+        let frac = class1 as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut src = TrafficSource::new(&profile(1.0, 64), ArrivalProcess::Paced);
+        let mut rng = SimRng::seed_from(5);
+        for want in 0..10 {
+            assert_eq!(src.next_injection(&mut rng).id, want);
+        }
+    }
+
+    #[test]
+    fn trace_replays_exact_times() {
+        let trace = Trace::from_events(vec![
+            (SimTime::from_micros(1.0), Bytes::new(64), 0),
+            (SimTime::from_micros(3.0), Bytes::new(128), 1),
+            (SimTime::from_micros(3.0), Bytes::new(256), 0),
+        ]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.total_bytes(), 448);
+        assert_eq!(trace.span(), SimTime::from_micros(3.0));
+        let mut c = trace.cursor();
+        let a = c.next_injection().unwrap();
+        assert_eq!(a.gap, SimTime::from_micros(1.0));
+        assert_eq!(a.size, Bytes::new(64));
+        let b = c.next_injection().unwrap();
+        assert_eq!(b.gap, SimTime::from_micros(2.0));
+        let d = c.next_injection().unwrap();
+        assert_eq!(d.gap, SimTime::ZERO, "simultaneous arrivals");
+        assert_eq!(d.class, 0);
+        assert!(c.next_injection().is_none());
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn trace_mean_rate() {
+        let trace = Trace::from_events(vec![
+            (SimTime::from_micros(0.0), Bytes::new(1000), 0),
+            (SimTime::from_micros(8.0), Bytes::new(1000), 0),
+        ]);
+        // 2000 B over 8 µs = 2 Gb/s.
+        assert!((trace.mean_rate_bps() - 2e9).abs() < 1e-3);
+        assert_eq!(Trace::default().mean_rate_bps(), 0.0);
+        assert!(Trace::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn trace_rejects_unsorted() {
+        let _ = Trace::from_events(vec![
+            (SimTime::from_micros(5.0), Bytes::new(64), 0),
+            (SimTime::from_micros(1.0), Bytes::new(64), 0),
+        ]);
+    }
+
+    #[test]
+    fn zero_rate_is_silent() {
+        let t = TrafficProfile::fixed(Bandwidth::ZERO, Bytes::new(64));
+        let src = TrafficSource::new(&t, ArrivalProcess::Poisson);
+        assert!(src.is_silent());
+        assert!(!TrafficSource::new(&profile(1.0, 64), ArrivalProcess::Poisson).is_silent());
+    }
+}

@@ -1,0 +1,377 @@
+//! The multi-queue IP front end of Fig. 2b: `m` input queues with `k`
+//! entries each, drained by a (weighted) round-robin scheduler.
+//!
+//! The analytical model concatenates these queues into one *virtual
+//! shared queue* (§3.6); the simulator can either do the same (the
+//! default single-queue plan) or keep them distinct, which is what
+//! multi-tenant isolation experiments need: one tenant overflowing its
+//! own queue must not drop another tenant's packets.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Configuration of one input queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSpec {
+    /// Entries the queue holds (`k`).
+    pub capacity: u32,
+    /// The scheduler's round-robin weight for this queue (≥ 1).
+    pub weight: u32,
+}
+
+/// The queue plan of a node: how many queues, their sizes and weights,
+/// and how packets map onto them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuePlan {
+    queues: Vec<QueueSpec>,
+}
+
+impl QueuePlan {
+    /// A single shared queue — the model's virtual-shared-queue
+    /// abstraction.
+    pub fn single(capacity: u32) -> Self {
+        QueuePlan {
+            queues: vec![QueueSpec {
+                capacity,
+                weight: 1,
+            }],
+        }
+    }
+
+    /// `m` queues with the given specs. Packets are assigned by
+    /// `class mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is empty, or any weight or capacity is zero.
+    pub fn weighted(queues: Vec<QueueSpec>) -> Self {
+        assert!(!queues.is_empty(), "need at least one queue");
+        for q in &queues {
+            assert!(q.capacity > 0, "queue capacity must be at least 1");
+            assert!(q.weight > 0, "queue weight must be at least 1");
+        }
+        QueuePlan { queues }
+    }
+
+    /// The queue specs.
+    pub fn queues(&self) -> &[QueueSpec] {
+        &self.queues
+    }
+
+    /// Total buffering across queues.
+    pub fn total_capacity(&self) -> u32 {
+        self.queues.iter().map(|q| q.capacity).sum()
+    }
+}
+
+/// The runtime state of a node's multi-queue front end.
+#[derive(Debug)]
+pub struct WrrQueues {
+    specs: Vec<QueueSpec>,
+    queues: Vec<VecDeque<Packet>>,
+    /// WRR cursor: which queue the scheduler is draining.
+    cursor: usize,
+    /// Deficit remaining for the cursor queue in this round.
+    remaining: u32,
+    /// Per-queue drop counters.
+    drops: Vec<u64>,
+}
+
+impl WrrQueues {
+    /// Instantiates a plan.
+    pub fn new(plan: &QueuePlan) -> Self {
+        let specs = plan.queues().to_vec();
+        let remaining = specs[0].weight;
+        let n = specs.len();
+        WrrQueues {
+            specs,
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            remaining,
+            drops: vec![0; n],
+        }
+    }
+
+    /// The queue index a packet maps to.
+    pub fn queue_for(&self, pkt: &Packet) -> usize {
+        pkt.class as usize % self.queues.len()
+    }
+
+    /// Enqueues a packet; returns `false` (a drop) when the packet's
+    /// queue is full.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        let idx = self.queue_for(&pkt);
+        if self.queues[idx].len() >= self.specs[idx].capacity as usize {
+            self.drops[idx] += 1;
+            return false;
+        }
+        self.queues[idx].push_back(pkt);
+        true
+    }
+
+    /// Dequeues the next packet under weighted round-robin: the
+    /// scheduler serves up to `weight` packets from the cursor queue,
+    /// then moves on; empty queues are skipped without consuming their
+    /// turn.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let m = self.queues.len();
+        if self.queues.iter().all(VecDeque::is_empty) {
+            return None;
+        }
+        loop {
+            if self.remaining > 0 {
+                if let Some(pkt) = self.queues[self.cursor].pop_front() {
+                    self.remaining -= 1;
+                    return Some(pkt);
+                }
+            }
+            self.cursor = (self.cursor + 1) % m;
+            self.remaining = self.specs[self.cursor].weight;
+        }
+    }
+
+    /// Packets currently waiting across all queues.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when no packet waits.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Depth of one queue.
+    pub fn queue_len(&self, idx: usize) -> usize {
+        self.queues[idx].len()
+    }
+
+    /// Drops charged to one queue.
+    pub fn queue_drops(&self, idx: usize) -> u64 {
+        self.drops[idx]
+    }
+
+    /// Number of queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use lognic_model::units::Bytes;
+
+    fn pkt(id: u64, class: u32) -> Packet {
+        Packet::new(id, Bytes::new(64), SimTime::ZERO, class)
+    }
+
+    #[test]
+    fn single_plan_behaves_fifo() {
+        let mut q = WrrQueues::new(&QueuePlan::single(4));
+        for i in 0..4 {
+            assert!(q.enqueue(pkt(i, 0)));
+        }
+        assert!(!q.enqueue(pkt(9, 0)), "fifth packet overflows");
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(q.queue_drops(0), 1);
+    }
+
+    #[test]
+    fn classes_map_to_queues_mod_m() {
+        let plan = QueuePlan::weighted(vec![
+            QueueSpec {
+                capacity: 8,
+                weight: 1,
+            },
+            QueueSpec {
+                capacity: 8,
+                weight: 1,
+            },
+        ]);
+        let q = WrrQueues::new(&plan);
+        assert_eq!(q.queue_for(&pkt(0, 0)), 0);
+        assert_eq!(q.queue_for(&pkt(0, 1)), 1);
+        assert_eq!(q.queue_for(&pkt(0, 5)), 1);
+        assert_eq!(q.queue_count(), 2);
+    }
+
+    #[test]
+    fn weighted_drain_follows_weights() {
+        // Weights 3:1 — the scheduler serves three from queue 0 per
+        // one from queue 1 while both are backlogged.
+        let plan = QueuePlan::weighted(vec![
+            QueueSpec {
+                capacity: 32,
+                weight: 3,
+            },
+            QueueSpec {
+                capacity: 32,
+                weight: 1,
+            },
+        ]);
+        let mut q = WrrQueues::new(&plan);
+        for i in 0..12 {
+            assert!(q.enqueue(pkt(i, 0)));
+            assert!(q.enqueue(pkt(100 + i, 1)));
+        }
+        let first8: Vec<u32> = (0..8).map(|_| q.dequeue().unwrap().class).collect();
+        let zeros = first8.iter().filter(|c| **c == 0).count();
+        assert_eq!(zeros, 6, "3:1 weighting over 8 dequeues: {first8:?}");
+    }
+
+    #[test]
+    fn empty_queue_does_not_stall_the_scheduler() {
+        let plan = QueuePlan::weighted(vec![
+            QueueSpec {
+                capacity: 8,
+                weight: 4,
+            },
+            QueueSpec {
+                capacity: 8,
+                weight: 1,
+            },
+        ]);
+        let mut q = WrrQueues::new(&plan);
+        // Only class 1 traffic: the scheduler must skip queue 0.
+        for i in 0..4 {
+            assert!(q.enqueue(pkt(i, 1)));
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn per_queue_isolation_of_drops() {
+        let plan = QueuePlan::weighted(vec![
+            QueueSpec {
+                capacity: 2,
+                weight: 1,
+            },
+            QueueSpec {
+                capacity: 8,
+                weight: 1,
+            },
+        ]);
+        let mut q = WrrQueues::new(&plan);
+        // Class 0 floods its 2-entry queue.
+        for i in 0..6 {
+            q.enqueue(pkt(i, 0));
+        }
+        // Class 1 is unaffected.
+        for i in 0..6 {
+            assert!(q.enqueue(pkt(100 + i, 1)), "class 1 must not drop");
+        }
+        assert_eq!(q.queue_drops(0), 4);
+        assert_eq!(q.queue_drops(1), 0);
+        assert_eq!(q.queue_len(0), 2);
+        assert_eq!(q.queue_len(1), 6);
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = QueuePlan::weighted(vec![
+            QueueSpec {
+                capacity: 4,
+                weight: 2,
+            },
+            QueueSpec {
+                capacity: 6,
+                weight: 1,
+            },
+        ]);
+        assert_eq!(plan.total_capacity(), 10);
+        assert_eq!(plan.queues().len(), 2);
+        assert_eq!(QueuePlan::single(16).total_capacity(), 16);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_plan() -> impl Strategy<Value = QueuePlan> {
+            prop::collection::vec((1u32..32, 1u32..8), 1..5).prop_map(|qs| {
+                QueuePlan::weighted(
+                    qs.into_iter()
+                        .map(|(capacity, weight)| QueueSpec { capacity, weight })
+                        .collect(),
+                )
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn conservation_under_random_traffic(
+                plan in arb_plan(),
+                classes in prop::collection::vec(0u32..8, 1..200),
+            ) {
+                let mut q = WrrQueues::new(&plan);
+                let mut admitted = 0u64;
+                for (i, class) in classes.iter().enumerate() {
+                    if q.enqueue(pkt(i as u64, *class)) {
+                        admitted += 1;
+                    }
+                }
+                let drained = std::iter::from_fn(|| q.dequeue()).count() as u64;
+                prop_assert_eq!(drained, admitted);
+                prop_assert!(q.is_empty());
+                // Per-queue drops account for the rest.
+                let dropped: u64 =
+                    (0..q.queue_count()).map(|i| q.queue_drops(i)).sum();
+                prop_assert_eq!(admitted + dropped, classes.len() as u64);
+            }
+
+            #[test]
+            fn no_queue_exceeds_its_capacity(
+                plan in arb_plan(),
+                classes in prop::collection::vec(0u32..8, 1..300),
+            ) {
+                let mut q = WrrQueues::new(&plan);
+                for (i, class) in classes.iter().enumerate() {
+                    let _ = q.enqueue(pkt(i as u64, *class));
+                    for idx in 0..q.queue_count() {
+                        prop_assert!(
+                            q.queue_len(idx) <= plan.queues()[idx].capacity as usize
+                        );
+                    }
+                }
+            }
+
+            #[test]
+            fn fifo_within_a_class(
+                plan in arb_plan(),
+                count in 1usize..50,
+            ) {
+                // All packets in one class drain in insertion order.
+                let mut q = WrrQueues::new(&plan);
+                let mut admitted_ids = Vec::new();
+                for i in 0..count {
+                    if q.enqueue(pkt(i as u64, 0)) {
+                        admitted_ids.push(i as u64);
+                    }
+                }
+                let drained: Vec<u64> =
+                    std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+                prop_assert_eq!(drained, admitted_ids);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue")]
+    fn empty_plan_rejected() {
+        let _ = QueuePlan::weighted(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be at least 1")]
+    fn zero_weight_rejected() {
+        let _ = QueuePlan::weighted(vec![QueueSpec {
+            capacity: 1,
+            weight: 0,
+        }]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Case study #1: bump-in-the-wire inline acceleration on the
+//! LiquidIO-II (§4.2, Figs. 5, 9, 10).
+//!
+//! The program extends a UDP echo server: NIC cores pull packets from
+//! the RX port, perform L3/L4 processing, trigger an accelerator, and
+//! fabricate the response after the completion signal. On-chip crypto
+//! units move data over the CMI (the shared interface of the hardware
+//! model); the off-chip HFA/ZIP engines use the 40 Gb/s I/O
+//! interconnect (a dedicated link in the graph).
+
+use crate::scenario::Scenario;
+use lognic_devices::liquidio::{Accelerator, LiquidIo};
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::params::{EdgeParams, IpParams, TrafficProfile};
+use lognic_model::units::{Bandwidth, Bytes};
+
+/// The engines of the Fig. 5 granularity sweep.
+pub const FIG5_ACCELS: [Accelerator; 4] = [
+    Accelerator::Crc,
+    Accelerator::Des3,
+    Accelerator::Md5,
+    Accelerator::Hfa,
+];
+
+/// The engines of the Fig. 9 parallelism sweep.
+pub const FIG9_ACCELS: [Accelerator; 3] = [Accelerator::Md5, Accelerator::Kasumi, Accelerator::Hfa];
+
+/// The engines of the Fig. 10 packet-size sweep.
+pub const FIG10_ACCELS: [Accelerator; 6] = [
+    Accelerator::Crc,
+    Accelerator::Aes,
+    Accelerator::Md5,
+    Accelerator::Sha1,
+    Accelerator::Sms4,
+    Accelerator::Hfa,
+];
+
+/// The packet sizes of the Fig. 10 sweep.
+pub const PACKET_SIZES: [u64; 6] = [64, 128, 256, 512, 1024, 1500];
+
+/// The data-access granularities of the Fig. 5 sweep.
+pub const GRANULARITIES: [u64; 6] = [512, 1024, 2048, 4096, 8192, 16384];
+
+/// Internal pipelining of an accelerator engine (concurrent buffers).
+const ACCEL_PIPELINE: u32 = 4;
+
+/// Builds the inline-acceleration scenario: `cores` NIC cores feeding
+/// `accel` with `size`-byte packets offered at `rate`.
+///
+/// # Panics
+///
+/// Panics if `cores` is 0 or exceeds the card's core count.
+pub fn inline(accel: Accelerator, cores: u32, size: Bytes, rate: Bandwidth) -> Scenario {
+    assert!(
+        (1..=LiquidIo::CORES).contains(&cores),
+        "invalid core count {cores}"
+    );
+    let spec = LiquidIo::accelerator(accel);
+    let core_params = IpParams::new(LiquidIo::core_path_cost(accel).peak(size, cores))
+        .with_parallelism(cores)
+        .with_queue_capacity(256);
+    let accel_params = IpParams::new(spec.compute_rate(size))
+        .with_parallelism(ACCEL_PIPELINE)
+        .with_queue_capacity(64);
+
+    let mut b = ExecutionGraph::builder(&format!("inline-{}", spec.kind.name()));
+    let ing = b.ingress("rx-port");
+    let nic = b.ip("nic-cores", core_params);
+    let acc = b.ip("accelerator", accel_params);
+    let eg = b.egress("tx-port");
+    // RX DMA to cores: modeled by the arrival pacing, no shared medium.
+    b.edge(ing, nic, EdgeParams::full().with_interface_fraction(0.0));
+    // Core → accelerator data movement: a point-to-point DMA channel
+    // over the engine's fabric (CMI for on-chip crypto, the I/O
+    // interconnect for the off-chip engines).
+    let to_accel = EdgeParams::full()
+        .with_interface_fraction(0.0)
+        .with_dedicated_bandwidth(spec.fabric.bandwidth());
+    b.edge(nic, acc, to_accel);
+    // Completion signal / digest back and TX: negligible data volume.
+    b.edge(acc, eg, EdgeParams::full().with_interface_fraction(0.05));
+    let graph = b.build().expect("inline graph is valid by construction");
+
+    Scenario::new(
+        &format!("inline-{}-{}cores-{}", spec.kind.name(), cores, size),
+        graph,
+        LiquidIo::hardware(),
+        TrafficProfile::fixed(rate.min(LiquidIo::line_rate()), size),
+    )
+}
+
+/// Builds the Fig. 5 scenario: the accelerator running at full tilt
+/// with per-operation data-access granularity `granularity`. Each
+/// simulated request carries one access-granularity buffer; all 16
+/// NIC cores submit, so the engine (or its fabric) is the binding
+/// component.
+pub fn granularity(accel: Accelerator, granularity: Bytes) -> Scenario {
+    let spec = LiquidIo::accelerator(accel);
+    // Offered load: enough to saturate the engine at every granularity.
+    let offered = Bandwidth::gbps(60.0);
+    let mut s = inline_unclamped(accel, LiquidIo::CORES, granularity, offered);
+    s.name = format!("granularity-{}-{}", spec.kind.name(), granularity);
+    s
+}
+
+/// Like [`inline`], but without clamping the offered rate to the
+/// Ethernet line rate: Fig. 5 exercises the DMA path between DRAM and
+/// the engine, which is not subject to the 25 GbE port.
+fn inline_unclamped(accel: Accelerator, cores: u32, size: Bytes, rate: Bandwidth) -> Scenario {
+    let mut s = inline(accel, cores, size, LiquidIo::line_rate());
+    s.traffic = TrafficProfile::fixed(rate, size);
+    s
+}
+
+/// The Fig. 5 expected operation rate from the extended roofline
+/// (compute peak capped by the fabric ceiling).
+pub fn roofline_ops(accel: Accelerator, g: Bytes) -> f64 {
+    LiquidIo::accelerator(accel)
+        .roofline()
+        .attainable_ops(g)
+        .as_per_sec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_model::throughput::Component;
+    use lognic_model::units::Seconds;
+    use lognic_sim::sim::SimConfig;
+
+    fn mtu() -> Bytes {
+        Bytes::new(1500)
+    }
+
+    #[test]
+    fn few_cores_bind_on_the_core_stage() {
+        let s = inline(Accelerator::Md5, 2, mtu(), LiquidIo::line_rate());
+        let est = s.estimator().throughput().unwrap();
+        assert!(matches!(
+            est.bottleneck().component,
+            Component::Node(_, ref n) if n == "nic-cores"
+        ));
+        // 2 cores at 4.7 µs → 0.426 Mpps → 5.1 Gb/s.
+        assert!((est.attainable().as_gbps() - 5.106).abs() < 0.05);
+    }
+
+    #[test]
+    fn many_cores_shift_bottleneck_to_accelerator() {
+        let s = inline(Accelerator::Md5, 12, mtu(), LiquidIo::line_rate());
+        let est = s.estimator().throughput().unwrap();
+        assert!(matches!(
+            est.bottleneck().component,
+            Component::Node(_, ref n) if n == "accelerator"
+        ));
+        // MD5 plateau: 1.8 MOPS × 1500 B = 21.6 Gb/s.
+        assert!((est.attainable().as_gbps() - 21.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn fig9_model_saturation_matches_device_anchor() {
+        for accel in FIG9_ACCELS {
+            let expect = LiquidIo::cores_to_saturate(accel, mtu());
+            let plateau = {
+                let s = inline(accel, LiquidIo::CORES, mtu(), LiquidIo::line_rate());
+                s.estimator().throughput().unwrap().attainable()
+            };
+            // Smallest core count whose attainable reaches the plateau.
+            let mut found = None;
+            for cores in 1..=LiquidIo::CORES {
+                let s = inline(accel, cores, mtu(), LiquidIo::line_rate());
+                let att = s.estimator().throughput().unwrap().attainable();
+                if (att.as_bps() - plateau.as_bps()).abs() / plateau.as_bps() < 1e-9 {
+                    found = Some(cores);
+                    break;
+                }
+            }
+            assert_eq!(found, Some(expect), "{}", accel.name());
+        }
+    }
+
+    #[test]
+    fn fig10_achieved_bandwidth_follows_min_formula() {
+        // Attainable ≈ min(P_IP2 × pktsize, line rate) once cores
+        // are plentiful.
+        for accel in FIG10_ACCELS {
+            for size in PACKET_SIZES {
+                let size = Bytes::new(size);
+                let s = inline(accel, LiquidIo::CORES, size, LiquidIo::line_rate());
+                let att = s.estimator().throughput().unwrap().attainable();
+                let spec = LiquidIo::accelerator(accel);
+                let expect = spec.compute_rate(size).min(LiquidIo::line_rate());
+                let err = (att.as_bps() - expect.as_bps()).abs() / expect.as_bps();
+                assert!(
+                    err < 0.02,
+                    "{} at {}: {} vs {}",
+                    accel.name(),
+                    size,
+                    att,
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_granularity_scenario_tracks_roofline() {
+        for accel in FIG5_ACCELS {
+            for g in GRANULARITIES {
+                let g = Bytes::new(g);
+                let s = granularity(accel, g);
+                let att = s.estimator().throughput().unwrap().attainable();
+                let ops = att.as_bps() / g.bits() as f64;
+                let expect = roofline_ops(accel, g);
+                let err = (ops - expect).abs() / expect;
+                assert!(
+                    err < 0.06,
+                    "{} at {}: model {ops} vs roofline {expect}",
+                    accel.name(),
+                    g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sim_matches_model_for_md5_parallelism_sweep() {
+        // The Fig. 9 headline: model-vs-measured < a few percent.
+        for cores in [2, 6, 12] {
+            let s = inline(Accelerator::Md5, cores, mtu(), LiquidIo::line_rate());
+            let cfg = SimConfig {
+                duration: Seconds::millis(30.0),
+                warmup: Seconds::millis(6.0),
+                ..SimConfig::default()
+            };
+            let est = s.estimator().throughput().unwrap().attainable();
+            let sim = s.simulate(cfg);
+            let err = (est.as_bps() - sim.throughput.as_bps()).abs() / sim.throughput.as_bps();
+            assert!(
+                err < 0.08,
+                "cores={cores}: model {est} vs sim {}",
+                sim.throughput
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid core count")]
+    fn rejects_zero_cores() {
+        let _ = inline(Accelerator::Crc, 0, Bytes::new(64), LiquidIo::line_rate());
+    }
+}

@@ -1,0 +1,32 @@
+//! # lognic-workloads
+//!
+//! The five case-study workloads of the LogNIC paper, each expressed
+//! as a [`scenario::Scenario`] (execution graph + hardware model +
+//! traffic profile) that drives both the analytical model and the
+//! discrete-event simulator:
+//!
+//! * [`inline_accel`] — bump-in-the-wire acceleration on the
+//!   LiquidIO-II (§4.2, Figs. 5/9/10);
+//! * [`nvmeof`] — the NVMe-oF target on the Stingray (§4.3,
+//!   Figs. 6/7);
+//! * [`microservices`] — E3 microservice chains and core-allocation
+//!   schemes (§4.4, Figs. 11/12);
+//! * [`nf_placement`] — the BlueField-2 network-function chain and
+//!   placement strategies (§4.5, Figs. 13/14);
+//! * [`panic_scenarios`] — PANIC hardware design exploration (§4.6,
+//!   Figs. 15–19);
+//! * [`switch_kv`] — the §5.3 future-work extension: a programmable
+//!   RMT switch running a NetCache-style in-network KV cache.
+
+#![warn(missing_docs)]
+
+pub mod compression;
+pub mod inline_accel;
+pub mod microservices;
+pub mod nf_placement;
+pub mod nvmeof;
+pub mod panic_scenarios;
+pub mod scenario;
+pub mod switch_kv;
+
+pub use scenario::{Comparison, Scenario};

@@ -1,0 +1,613 @@
+//! Case study #3: E3 microservice chains on the LiquidIO-II
+//! (§4.4, Figs. 11 and 12).
+//!
+//! E3 runs each microservice as a multi-threaded process on the
+//! SmartNIC; an incoming request triggers its service chain. The
+//! baseline E3 scheduler forwards requests to cores round-robin and
+//! exploits only inter-request parallelism; the paper's LogNIC
+//! optimizer instead assigns NIC cores to chain stages
+//! (intra-request, pipeline parallelism) in proportion to each stage's
+//! actual working set.
+//!
+//! Three allocation schemes are modeled:
+//!
+//! * **Round-robin** — run-to-completion of the whole chain on
+//!   whichever core the round-robin counter picks, paying a locality
+//!   penalty for dragging every service's state through every core.
+//! * **Equal partition** — a pipeline with `16 / num_stages` cores
+//!   per stage, regardless of stage weight.
+//! * **LogNIC-opt** — a pipeline with the max-min optimal integer
+//!   core allocation.
+
+use crate::scenario::Scenario;
+use lognic_devices::cost::CostModel;
+use lognic_devices::host::HostXeon;
+use lognic_devices::liquidio::LiquidIo;
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::params::{EdgeParams, IpParams, TrafficProfile};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// NIC cores available for allocation.
+pub const TOTAL_CORES: u32 = LiquidIo::CORES;
+
+/// Microservice request size on the wire.
+pub const REQUEST_SIZE: Bytes = Bytes::new(512);
+
+/// Locality penalty of run-to-completion execution: every core drags
+/// all services' state through its cache, inflating each request by
+/// this fraction relative to pipelined stage-local execution.
+pub const RTC_PENALTY: f64 = 0.3;
+
+/// The five E3 applications of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    /// Flow monitoring.
+    NfvFin,
+    /// Intrusion detection.
+    NfvDin,
+    /// Spam filter.
+    RtaSf,
+    /// Server health monitoring.
+    RtaShm,
+    /// IoT data hub.
+    IotDh,
+}
+
+impl App {
+    /// All five applications.
+    pub const ALL: [App; 5] = [
+        App::NfvFin,
+        App::NfvDin,
+        App::RtaSf,
+        App::RtaShm,
+        App::IotDh,
+    ];
+
+    /// The paper's label.
+    pub fn name(self) -> &'static str {
+        match self {
+            App::NfvFin => "NFV-FIN",
+            App::NfvDin => "NFV-DIN",
+            App::RtaSf => "RTA-SF",
+            App::RtaShm => "RTA-SHM",
+            App::IotDh => "IOT-DH",
+        }
+    }
+
+    /// The service-chain stages: `(name, per-request cost on one
+    /// core)`. Stage weights are deliberately skewed — the situation
+    /// in which allocation quality matters.
+    pub fn stages(self) -> Vec<(&'static str, Seconds)> {
+        match self {
+            App::NfvFin => vec![
+                ("parse", Seconds::micros(0.9)),
+                ("flow-count", Seconds::micros(1.4)),
+                ("export", Seconds::micros(0.7)),
+            ],
+            App::NfvDin => vec![
+                ("parse", Seconds::micros(1.0)),
+                ("detect", Seconds::micros(1.8)),
+                ("classify", Seconds::micros(1.1)),
+                ("log", Seconds::micros(0.8)),
+            ],
+            App::RtaSf => vec![
+                ("tokenize", Seconds::micros(1.1)),
+                ("score", Seconds::micros(1.9)),
+                ("verdict", Seconds::micros(0.9)),
+            ],
+            App::RtaShm => vec![
+                ("collect", Seconds::micros(0.6)),
+                ("aggregate", Seconds::micros(1.1)),
+                ("alarm", Seconds::micros(0.5)),
+            ],
+            App::IotDh => vec![
+                ("decode", Seconds::micros(0.8)),
+                ("transform", Seconds::micros(1.5)),
+                ("store", Seconds::micros(1.2)),
+                ("ack", Seconds::micros(0.7)),
+            ],
+        }
+    }
+
+    /// Total per-request chain cost.
+    pub fn chain_cost(self) -> Seconds {
+        self.stages().into_iter().map(|(_, c)| c).sum()
+    }
+}
+
+/// The NIC-core allocation schemes compared in Figs. 11/12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationScheme {
+    /// E3's default: round-robin run-to-completion.
+    RoundRobin,
+    /// Equal cores per stage.
+    EqualPartition,
+    /// The LogNIC optimizer's max-min allocation.
+    LogNicOpt,
+}
+
+impl AllocationScheme {
+    /// All three schemes in figure order.
+    pub const ALL: [AllocationScheme; 3] = [
+        AllocationScheme::RoundRobin,
+        AllocationScheme::EqualPartition,
+        AllocationScheme::LogNicOpt,
+    ];
+
+    /// The figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationScheme::RoundRobin => "Round-Robin",
+            AllocationScheme::EqualPartition => "Equal-Partition",
+            AllocationScheme::LogNicOpt => "LogNIC-Opt",
+        }
+    }
+}
+
+/// Splits `total` cores equally across `stages`, spreading the
+/// remainder over the first stages. Every stage gets at least one
+/// core.
+///
+/// # Panics
+///
+/// Panics if there are more stages than cores, or no stages.
+pub fn equal_allocation(stages: usize, total: u32) -> Vec<u32> {
+    assert!(stages > 0, "no stages");
+    assert!(stages as u32 <= total, "more stages than cores");
+    let base = total / stages as u32;
+    let extra = (total % stages as u32) as usize;
+    (0..stages).map(|i| base + u32::from(i < extra)).collect()
+}
+
+/// Max-min optimal integer allocation: start with one core per stage
+/// and repeatedly grant a core to the stage with the lowest capacity
+/// `D_k / c_k`. Greedy is optimal for this max-min objective because
+/// capacities are concave in the allocation.
+///
+/// # Panics
+///
+/// Panics if there are more stages than cores, or no stages.
+pub fn optimal_allocation(costs: &[Seconds], total: u32) -> Vec<u32> {
+    assert!(!costs.is_empty(), "no stages");
+    assert!(costs.len() as u32 <= total, "more stages than cores");
+    let mut alloc = vec![1u32; costs.len()];
+    for _ in 0..(total - costs.len() as u32) {
+        let worst = (0..costs.len())
+            .min_by(|&a, &b| {
+                let ca = alloc[a] as f64 / costs[a].as_secs();
+                let cb = alloc[b] as f64 / costs[b].as_secs();
+                ca.partial_cmp(&cb).expect("finite")
+            })
+            .expect("non-empty");
+        alloc[worst] += 1;
+    }
+    alloc
+}
+
+/// The request rate a pipeline sustains under an allocation:
+/// `min_k (D_k / c_k)` requests per second.
+pub fn pipeline_capacity(costs: &[Seconds], alloc: &[u32]) -> f64 {
+    costs
+        .iter()
+        .zip(alloc)
+        .map(|(c, d)| *d as f64 / c.as_secs())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The request rate the round-robin run-to-completion scheme
+/// sustains: all cores, each paying the locality penalty.
+pub fn round_robin_capacity(app: App) -> f64 {
+    TOTAL_CORES as f64 / (app.chain_cost().as_secs() * (1.0 + RTC_PENALTY))
+}
+
+/// The sustainable request rate of an app under a scheme (the model's
+/// saturation bound).
+pub fn capacity(app: App, scheme: AllocationScheme) -> f64 {
+    let costs: Vec<Seconds> = app.stages().into_iter().map(|(_, c)| c).collect();
+    match scheme {
+        AllocationScheme::RoundRobin => round_robin_capacity(app),
+        AllocationScheme::EqualPartition => {
+            pipeline_capacity(&costs, &equal_allocation(costs.len(), TOTAL_CORES))
+        }
+        AllocationScheme::LogNicOpt => {
+            pipeline_capacity(&costs, &optimal_allocation(&costs, TOTAL_CORES))
+        }
+    }
+}
+
+fn stage_params(cost: Seconds, cores: u32) -> IpParams {
+    let model = CostModel::per_request(cost);
+    IpParams::new(model.peak(REQUEST_SIZE, cores))
+        .with_parallelism(cores)
+        .with_queue_capacity(64)
+}
+
+/// Builds the scenario for `app` under `scheme` at `offered_rps`
+/// requests per second.
+pub fn scenario(app: App, scheme: AllocationScheme, offered_rps: f64) -> Scenario {
+    let traffic = TrafficProfile::fixed(
+        Bandwidth::bps(offered_rps * REQUEST_SIZE.bits() as f64),
+        REQUEST_SIZE,
+    );
+    let graph = match scheme {
+        AllocationScheme::RoundRobin => round_robin_graph(app),
+        AllocationScheme::EqualPartition => {
+            let costs: Vec<Seconds> = app.stages().into_iter().map(|(_, c)| c).collect();
+            pipeline_graph(app, &equal_allocation(costs.len(), TOTAL_CORES))
+        }
+        AllocationScheme::LogNicOpt => {
+            let costs: Vec<Seconds> = app.stages().into_iter().map(|(_, c)| c).collect();
+            pipeline_graph(app, &optimal_allocation(&costs, TOTAL_CORES))
+        }
+    };
+    Scenario::new(
+        &format!("{}-{}", app.name(), scheme.name()),
+        graph,
+        LiquidIo::hardware(),
+        traffic,
+    )
+}
+
+/// Builds a pipeline graph with `alloc[k]` cores on stage `k`.
+pub fn pipeline_graph(app: App, alloc: &[u32]) -> ExecutionGraph {
+    let stages = app.stages();
+    assert_eq!(stages.len(), alloc.len(), "allocation length mismatch");
+    let mut b = ExecutionGraph::builder(&format!("{}-pipeline", app.name()));
+    let ing = b.ingress("rx");
+    let mut prev = ing;
+    for ((name, cost), cores) in stages.into_iter().zip(alloc) {
+        let ip = b.ip(name, stage_params(cost, *cores));
+        // Stage handoff moves request descriptors across cores: a
+        // small share of the request crosses the interconnect.
+        b.edge(prev, ip, EdgeParams::full().with_interface_fraction(0.1));
+        prev = ip;
+    }
+    let eg = b.egress("tx");
+    b.edge(prev, eg, EdgeParams::full().with_interface_fraction(0.1));
+    b.build().expect("pipeline graph is valid by construction")
+}
+
+/// Which side of the PCIe bus each chain stage runs on (`true` =
+/// host). The E3 orchestrator's migration question, answered by the
+/// model instead of a queue-length heuristic.
+pub type HostSplit = Vec<bool>;
+
+/// Builds a NIC/host split pipeline: NIC stages get the max-min
+/// optimal share of the NIC cores, host stages get host cores (3×
+/// faster per core), and every NIC↔host boundary pays the PCIe
+/// crossing overhead with its data moving over the PCIe link.
+///
+/// # Panics
+///
+/// Panics if `split.len()` differs from the app's stage count, or if
+/// either side has more resident stages than cores.
+pub fn split_graph(app: App, split: &[bool]) -> ExecutionGraph {
+    let stages = app.stages();
+    assert_eq!(stages.len(), split.len(), "split length mismatch");
+    let nic_costs: Vec<Seconds> = stages
+        .iter()
+        .zip(split)
+        .filter(|(_, on_host)| !**on_host)
+        .map(|((_, c), _)| *c)
+        .collect();
+    let host_count = split.iter().filter(|h| **h).count() as u32;
+    assert!(
+        host_count <= HostXeon::CORES,
+        "more host stages than host cores"
+    );
+    // NIC cores go to the NIC-resident stages (max-min optimal); host
+    // stages share the host cores equally.
+    let nic_alloc = if nic_costs.is_empty() {
+        Vec::new()
+    } else {
+        optimal_allocation(&nic_costs, TOTAL_CORES)
+    };
+    let host_alloc_each = (HostXeon::CORES).checked_div(host_count).unwrap_or(0);
+
+    let mut b = ExecutionGraph::builder(&format!("{}-split", app.name()));
+    let ing = b.ingress("rx");
+    let mut prev = ing;
+    let mut prev_on_host = false;
+    let mut nic_idx = 0usize;
+    for ((name, cost), on_host) in stages.into_iter().zip(split) {
+        let crossing = *on_host != prev_on_host;
+        // The PCIe crossing cost is part of the stage's per-request
+        // work (doorbell + DMA setup on the receiving side), so it
+        // must reduce the stage's capacity, not just its latency.
+        let params = if *on_host {
+            let mut host_cost = HostXeon::host_cost(CostModel::per_request(cost));
+            if crossing {
+                host_cost = host_cost.plus_fixed(HostXeon::pcie_crossing_overhead());
+            }
+            IpParams::new(host_cost.peak(REQUEST_SIZE, host_alloc_each.max(1)))
+                .with_parallelism(host_alloc_each.max(1))
+                .with_queue_capacity(64)
+        } else {
+            let cores = nic_alloc[nic_idx];
+            nic_idx += 1;
+            let stage_cost = if crossing {
+                Seconds::new(cost.as_secs() + HostXeon::pcie_crossing_overhead().as_secs())
+            } else {
+                cost
+            };
+            stage_params(stage_cost, cores)
+        };
+        let ip = b.ip(name, params);
+        let edge = if *on_host != prev_on_host {
+            // Crossing PCIe: the request's data moves over the bus.
+            EdgeParams::full()
+                .with_interface_fraction(0.0)
+                .with_dedicated_bandwidth(HostXeon::pcie_bandwidth())
+        } else {
+            EdgeParams::full().with_interface_fraction(0.1)
+        };
+        b.edge(prev, ip, edge);
+        prev = ip;
+        prev_on_host = *on_host;
+    }
+    let eg = b.egress("tx");
+    let back = if prev_on_host {
+        EdgeParams::full()
+            .with_interface_fraction(0.0)
+            .with_dedicated_bandwidth(HostXeon::pcie_bandwidth())
+    } else {
+        EdgeParams::full().with_interface_fraction(0.1)
+    };
+    b.edge(prev, eg, back);
+    b.build().expect("split graph is valid by construction")
+}
+
+/// The sustainable request rate of a NIC/host split (model saturation
+/// bound in requests per second).
+pub fn split_capacity(app: App, split: &[bool]) -> f64 {
+    let g = split_graph(app, split);
+    let traffic = TrafficProfile::fixed(
+        Bandwidth::bps(1e6 * REQUEST_SIZE.bits() as f64),
+        REQUEST_SIZE,
+    );
+    let est = lognic_model::throughput::estimate_throughput(&g, &LiquidIo::hardware(), &traffic)
+        .expect("valid graph");
+    match est.saturation_bound() {
+        Some(b) => b.limit.as_bps() / REQUEST_SIZE.bits() as f64,
+        None => f64::INFINITY,
+    }
+}
+
+/// The best NIC/host split for an app: exhaustive over the 2^S
+/// assignments (S ≤ 4), maximizing capacity; ties prefer fewer PCIe
+/// crossings.
+pub fn optimal_split(app: App) -> HostSplit {
+    let stages = app.stages().len();
+    let crossings = |split: &[bool]| -> usize {
+        let mut c = 0;
+        let mut prev = false;
+        for h in split {
+            if *h != prev {
+                c += 1;
+            }
+            prev = *h;
+        }
+        c + usize::from(prev)
+    };
+    let mut best: Option<(HostSplit, f64, usize)> = None;
+    for bits in 0..(1u32 << stages) {
+        let split: HostSplit = (0..stages).map(|i| bits & (1 << i) != 0).collect();
+        let cap = split_capacity(app, &split);
+        let cross = crossings(&split);
+        let better = match &best {
+            None => true,
+            Some((_, bc, bx)) => {
+                cap > bc * 1.0001 || ((cap - bc).abs() <= bc * 1e-4 && cross < *bx)
+            }
+        };
+        if better {
+            best = Some((split, cap, cross));
+        }
+    }
+    best.expect("at least one split").0
+}
+
+fn round_robin_graph(app: App) -> ExecutionGraph {
+    let per_request = Seconds::new(app.chain_cost().as_secs() * (1.0 + RTC_PENALTY));
+    let mut b = ExecutionGraph::builder(&format!("{}-rr", app.name()));
+    let ing = b.ingress("rx");
+    let eg = b.egress("tx");
+    let share = 1.0 / TOTAL_CORES as f64;
+    for core in 0..TOTAL_CORES {
+        // E3's per-core rings are shallow; a saturated core drops
+        // rather than queueing deeply.
+        let ip = b.ip(
+            &format!("core{core}"),
+            stage_params(per_request, 1).with_queue_capacity(4),
+        );
+        b.edge(ing, ip, EdgeParams::new(share).expect("valid share"));
+        b.edge(ip, eg, EdgeParams::new(share).expect("valid share"));
+    }
+    b.build()
+        .expect("round-robin graph is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_model::units::Seconds;
+    use lognic_sim::sim::SimConfig;
+
+    #[test]
+    fn allocations_sum_to_total() {
+        for app in App::ALL {
+            let costs: Vec<Seconds> = app.stages().into_iter().map(|(_, c)| c).collect();
+            let opt = optimal_allocation(&costs, TOTAL_CORES);
+            assert_eq!(opt.iter().sum::<u32>(), TOTAL_CORES);
+            assert!(opt.iter().all(|&d| d >= 1));
+            let eq = equal_allocation(costs.len(), TOTAL_CORES);
+            assert_eq!(eq.iter().sum::<u32>(), TOTAL_CORES);
+        }
+    }
+
+    #[test]
+    fn optimal_beats_equal_on_skewed_chains() {
+        for app in App::ALL {
+            let opt = capacity(app, AllocationScheme::LogNicOpt);
+            let eq = capacity(app, AllocationScheme::EqualPartition);
+            assert!(opt >= eq, "{}: opt {opt} < equal {eq}", app.name());
+        }
+        // On the most skewed chain the gap is substantial.
+        let opt = capacity(App::NfvFin, AllocationScheme::LogNicOpt);
+        let eq = capacity(App::NfvFin, AllocationScheme::EqualPartition);
+        assert!(opt / eq > 1.25, "opt {opt} / eq {eq}");
+    }
+
+    #[test]
+    fn optimal_beats_round_robin() {
+        for app in App::ALL {
+            let opt = capacity(app, AllocationScheme::LogNicOpt);
+            let rr = capacity(app, AllocationScheme::RoundRobin);
+            assert!(opt > rr, "{}: opt {opt} <= rr {rr}", app.name());
+        }
+    }
+
+    #[test]
+    fn greedy_allocation_is_max_min_optimal_on_small_case() {
+        // Exhaustive check for a 3-stage, 8-core instance.
+        let costs = [
+            Seconds::micros(0.6),
+            Seconds::micros(2.2),
+            Seconds::micros(0.5),
+        ];
+        let greedy = optimal_allocation(&costs, 8);
+        let greedy_cap = pipeline_capacity(&costs, &greedy);
+        let mut best = 0.0f64;
+        for a in 1..=6u32 {
+            for b in 1..=6u32 {
+                if a + b >= 8 {
+                    continue;
+                }
+                let c = 8 - a - b;
+                best = best.max(pipeline_capacity(&costs, &[a, b, c]));
+            }
+        }
+        assert!(
+            (greedy_cap - best).abs() / best < 1e-9,
+            "greedy {greedy_cap} vs best {best}"
+        );
+    }
+
+    #[test]
+    fn model_capacity_matches_graph_estimate() {
+        // The graph-level throughput estimate divided by request size
+        // equals the closed-form pipeline capacity.
+        let app = App::RtaSf;
+        let s = scenario(app, AllocationScheme::LogNicOpt, 10e6);
+        let est = s.estimator().throughput().unwrap();
+        let rps = est.attainable().as_bps() / REQUEST_SIZE.bits() as f64;
+        let expect = capacity(app, AllocationScheme::LogNicOpt);
+        assert!((rps - expect).abs() / expect < 1e-6, "{rps} vs {expect}");
+    }
+
+    #[test]
+    fn round_robin_graph_has_sixteen_branches() {
+        let s = scenario(App::NfvFin, AllocationScheme::RoundRobin, 1e6);
+        assert_eq!(s.graph.paths().unwrap().len(), TOTAL_CORES as usize);
+    }
+
+    #[test]
+    fn at_80_percent_load_opt_delivers_more_and_faster() {
+        let app = App::NfvDin;
+        let offered = 0.8 * capacity(app, AllocationScheme::LogNicOpt);
+        let cfg = SimConfig {
+            duration: Seconds::millis(40.0),
+            warmup: Seconds::millis(8.0),
+            ..SimConfig::default()
+        };
+        let opt = scenario(app, AllocationScheme::LogNicOpt, offered).simulate(cfg);
+        let rr = scenario(app, AllocationScheme::RoundRobin, offered).simulate(cfg);
+        let eq = scenario(app, AllocationScheme::EqualPartition, offered).simulate(cfg);
+        assert!(
+            opt.throughput.as_bps() >= rr.throughput.as_bps(),
+            "opt {} vs rr {}",
+            opt.throughput,
+            rr.throughput
+        );
+        assert!(opt.throughput.as_bps() > eq.throughput.as_bps());
+        assert!(opt.latency.mean < rr.latency.mean);
+    }
+
+    #[test]
+    fn split_all_nic_matches_pipeline_capacity() {
+        let app = App::RtaSf;
+        let all_nic = vec![false; app.stages().len()];
+        let cap = split_capacity(app, &all_nic);
+        let expect = capacity(app, AllocationScheme::LogNicOpt);
+        assert!((cap - expect).abs() / expect < 1e-6, "{cap} vs {expect}");
+    }
+
+    #[test]
+    fn split_all_host_is_faster_per_core_but_pays_pcie() {
+        let app = App::NfvDin;
+        let all_host = vec![true; app.stages().len()];
+        let g = split_graph(app, &all_host);
+        // Two PCIe crossings: rx->stage1 and last->tx.
+        let dedicated = g
+            .edges()
+            .iter()
+            .filter(|e| e.params().dedicated_bandwidth().is_some())
+            .count();
+        assert_eq!(dedicated, 2);
+        assert!(split_capacity(app, &all_host) > 0.0);
+    }
+
+    #[test]
+    fn optimal_split_dominates_pure_placements() {
+        for app in [App::NfvFin, App::IotDh] {
+            let n = app.stages().len();
+            let best = optimal_split(app);
+            let best_cap = split_capacity(app, &best);
+            let all_nic = split_capacity(app, &vec![false; n]);
+            let all_host = split_capacity(app, &vec![true; n]);
+            assert!(
+                best_cap + 1.0 >= all_nic,
+                "{}: {best_cap} < {all_nic}",
+                app.name()
+            );
+            assert!(
+                best_cap + 1.0 >= all_host,
+                "{}: {best_cap} < {all_host}",
+                app.name()
+            );
+        }
+    }
+
+    #[test]
+    fn split_scenario_simulates_consistently() {
+        use lognic_sim::sim::{SimConfig, Simulation};
+        let app = App::RtaShm;
+        let split = optimal_split(app);
+        let g = split_graph(app, &split);
+        let offered = 0.7 * split_capacity(app, &split);
+        let t = TrafficProfile::fixed(
+            Bandwidth::bps(offered * REQUEST_SIZE.bits() as f64),
+            REQUEST_SIZE,
+        );
+        let cfg = SimConfig {
+            duration: Seconds::millis(30.0),
+            warmup: Seconds::millis(6.0),
+            ..SimConfig::default()
+        };
+        let r = Simulation::builder(&g, &LiquidIo::hardware(), &t)
+            .config(cfg)
+            .run();
+        let rps = r.throughput.as_bps() / REQUEST_SIZE.bits() as f64;
+        assert!(
+            (rps - offered).abs() / offered < 0.06,
+            "sim {rps} vs offered {offered}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more stages than cores")]
+    fn allocation_rejects_too_many_stages() {
+        let costs = vec![Seconds::micros(1.0); 20];
+        let _ = optimal_allocation(&costs, 16);
+    }
+}

@@ -1,0 +1,261 @@
+//! Case study #4: network-function placement on the BlueField-2
+//! (§4.5, Figs. 13 and 14).
+//!
+//! The middlebox chain FW → LB → DPI → NAT → PE runs on the DPU. Each
+//! NF (except DPI) can execute either on the ARM cores or on a
+//! hardware module; offloading trades a per-packet submission
+//! overhead and extra crossbar hops for the module's much lower
+//! per-byte cost. The best placement therefore depends on the packet
+//! size — which is exactly what the LogNIC optimizer exploits.
+
+use crate::scenario::Scenario;
+use lognic_devices::bluefield::{BlueField2, NetworkFunction};
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::params::{EdgeParams, IpParams, TrafficProfile};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// Which NFs run on an accelerator module (`true`) vs the ARM cores.
+/// Index order follows [`NetworkFunction::CHAIN`]; DPI (index 2) can
+/// never be offloaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement(pub [bool; 5]);
+
+impl Placement {
+    /// Everything on the ARM cores.
+    pub fn arm_only() -> Placement {
+        Placement([false; 5])
+    }
+
+    /// Every NF with a module offloaded ("Accelerator-only").
+    pub fn accel_only() -> Placement {
+        Placement([true, true, false, true, true])
+    }
+
+    /// Every valid placement (DPI stays on ARM): 16 combinations.
+    pub fn all() -> Vec<Placement> {
+        let mut out = Vec::with_capacity(16);
+        for bits in 0..16u32 {
+            let mut p = [false; 5];
+            // Map 4 bits onto the offloadable NFs (skip DPI).
+            let offloadable = [0usize, 1, 3, 4];
+            for (bit, &idx) in offloadable.iter().enumerate() {
+                p[idx] = bits & (1 << bit) != 0;
+            }
+            out.push(Placement(p));
+        }
+        out
+    }
+
+    /// True when `nf` is offloaded under this placement.
+    pub fn offloads(&self, nf: NetworkFunction) -> bool {
+        let idx = NetworkFunction::CHAIN
+            .iter()
+            .position(|n| *n == nf)
+            .expect("chain NF");
+        self.0[idx]
+    }
+
+    /// Number of offloaded NFs.
+    pub fn offloaded_count(&self) -> usize {
+        self.0.iter().filter(|b| **b).count()
+    }
+}
+
+/// The ARM-side per-packet cost under a placement: full NF cost for
+/// ARM-resident NFs, submission overhead for offloaded ones.
+pub fn arm_packet_cost(placement: Placement, size: Bytes) -> Seconds {
+    NetworkFunction::CHAIN
+        .iter()
+        .map(|nf| {
+            let spec = BlueField2::nf(*nf);
+            if placement.offloads(*nf) {
+                spec.accel
+                    .expect("offloadable NF has a module")
+                    .offload_overhead
+            } else {
+                spec.arm_cost.time(size)
+            }
+        })
+        .sum()
+}
+
+/// Builds the scenario for one placement at packet size `size` and
+/// offered rate `rate`.
+pub fn scenario(placement: Placement, size: Bytes, rate: Bandwidth) -> Scenario {
+    let arm_cost = arm_packet_cost(placement, size);
+    let arm_rate =
+        Bandwidth::bps(BlueField2::CORES as f64 * size.bits() as f64 / arm_cost.as_secs());
+    let arm_params = IpParams::new(arm_rate)
+        .with_parallelism(BlueField2::CORES)
+        .with_queue_capacity(256);
+
+    // FW and NAT share the connection-tracking module: partition it.
+    let conntrack_shared =
+        placement.offloads(NetworkFunction::Firewall) && placement.offloads(NetworkFunction::Nat);
+
+    let mut b = ExecutionGraph::builder("nf-chain");
+    let ing = b.ingress("rx");
+    let arm = b.ip("arm-cores", arm_params);
+    b.edge(ing, arm, EdgeParams::full().with_interface_fraction(0.1));
+    let mut prev = arm;
+    for nf in NetworkFunction::CHAIN {
+        if !placement.offloads(nf) {
+            continue;
+        }
+        let spec = BlueField2::nf(nf);
+        let accel = spec.accel.expect("offloadable NF has a module");
+        let mut params = IpParams::new(accel.engine_cost.peak(size, accel.engines))
+            .with_parallelism(accel.engines)
+            .with_queue_capacity(64);
+        if conntrack_shared && matches!(nf, NetworkFunction::Firewall | NetworkFunction::Nat) {
+            params = params.with_partition(0.5);
+        }
+        let node = b.ip(&format!("{}-module", nf.name()), params);
+        // Off-chip round trip over the crossbar.
+        b.edge(prev, node, EdgeParams::full().with_interface_fraction(0.3));
+        prev = node;
+    }
+    let eg = b.egress("tx");
+    b.edge(prev, eg, EdgeParams::full().with_interface_fraction(0.1));
+    let graph = b.build().expect("placement graph is valid by construction");
+
+    Scenario::new(
+        &format!("nf-{:?}-{}", placement.0, size),
+        graph,
+        BlueField2::hardware(),
+        TrafficProfile::fixed(rate.min(BlueField2::line_rate()), size),
+    )
+}
+
+/// The model's sustainable throughput of a placement at this size
+/// (its hardware saturation bound, capped at the line rate).
+pub fn capacity(placement: Placement, size: Bytes) -> Bandwidth {
+    let s = scenario(placement, size, BlueField2::line_rate());
+    let est = s.estimator().throughput().expect("valid scenario");
+    match est.saturation_bound() {
+        Some(b) => b.limit.min(BlueField2::line_rate()),
+        None => BlueField2::line_rate(),
+    }
+}
+
+/// The LogNIC-opt placement for this packet size: the throughput
+/// maximizer (ties broken by model latency at 60 % of the winner's
+/// capacity).
+pub fn optimal_for(size: Bytes) -> Placement {
+    let mut best: Option<(Placement, Bandwidth, Seconds)> = None;
+    for p in Placement::all() {
+        let cap = capacity(p, size);
+        let lat = scenario(p, size, cap * 0.6)
+            .estimator()
+            .latency()
+            .expect("valid scenario")
+            .mean();
+        let better = match &best {
+            None => true,
+            Some((_, bc, bl)) => {
+                cap.as_bps() > bc.as_bps() * 1.0001
+                    || ((cap.as_bps() - bc.as_bps()).abs() <= bc.as_bps() * 1e-4 && lat < *bl)
+            }
+        };
+        if better {
+            best = Some((p, cap, lat));
+        }
+    }
+    best.expect("at least one placement").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_placements_and_dpi_never_offloaded() {
+        let all = Placement::all();
+        assert_eq!(all.len(), 16);
+        for p in &all {
+            assert!(!p.offloads(NetworkFunction::Dpi));
+        }
+        assert_eq!(Placement::accel_only().offloaded_count(), 4);
+        assert_eq!(Placement::arm_only().offloaded_count(), 0);
+    }
+
+    #[test]
+    fn arm_cost_shrinks_when_offloading_byte_heavy_nfs_at_mtu() {
+        let mtu = Bytes::new(1500);
+        let all_arm = arm_packet_cost(Placement::arm_only(), mtu);
+        let offload_pe = arm_packet_cost(Placement([false, false, false, false, true]), mtu);
+        assert!(
+            offload_pe < all_arm,
+            "PE offload must relieve the cores at MTU"
+        );
+    }
+
+    #[test]
+    fn arm_cost_grows_when_offloading_at_64b() {
+        let small = Bytes::new(64);
+        let all_arm = arm_packet_cost(Placement::arm_only(), small);
+        let accel = arm_packet_cost(Placement::accel_only(), small);
+        assert!(accel > all_arm, "offload overhead dominates at 64 B");
+    }
+
+    #[test]
+    fn capacity_crossover_between_strategies() {
+        // ARM-only wins at 64 B, loses at MTU.
+        let small = Bytes::new(64);
+        let mtu = Bytes::new(1500);
+        assert!(
+            capacity(Placement::arm_only(), small).as_bps()
+                > capacity(Placement::accel_only(), small).as_bps()
+        );
+        assert!(
+            capacity(Placement::accel_only(), mtu).as_bps()
+                > capacity(Placement::arm_only(), mtu).as_bps()
+        );
+    }
+
+    #[test]
+    fn optimal_matches_or_beats_both_baselines_everywhere() {
+        for size in [64u64, 256, 1024, 1500] {
+            let size = Bytes::new(size);
+            let opt = capacity(optimal_for(size), size).as_bps();
+            let arm = capacity(Placement::arm_only(), size).as_bps();
+            let acc = capacity(Placement::accel_only(), size).as_bps();
+            assert!(opt + 1.0 >= arm, "size {size}: opt {opt} < arm {arm}");
+            assert!(opt + 1.0 >= acc, "size {size}: opt {opt} < accel {acc}");
+        }
+    }
+
+    #[test]
+    fn optimal_is_arm_only_at_64b_and_offloads_pe_at_mtu() {
+        assert_eq!(optimal_for(Bytes::new(64)), Placement::arm_only());
+        let opt = optimal_for(Bytes::new(1500));
+        assert!(
+            opt.offloads(NetworkFunction::Encryption),
+            "PE must offload at MTU: {opt:?}"
+        );
+    }
+
+    #[test]
+    fn shared_conntrack_halves_module_capacity() {
+        let both = Placement([true, false, false, true, false]);
+        let s = scenario(both, Bytes::new(512), Bandwidth::gbps(50.0));
+        let fw = s.graph.node_by_name("FW-module").unwrap();
+        assert_eq!(s.graph.node(fw).params().unwrap().partition(), 0.5);
+        let only_fw = Placement([true, false, false, false, false]);
+        let s2 = scenario(only_fw, Bytes::new(512), Bandwidth::gbps(50.0));
+        let fw2 = s2.graph.node_by_name("FW-module").unwrap();
+        assert_eq!(s2.graph.node(fw2).params().unwrap().partition(), 1.0);
+    }
+
+    #[test]
+    fn graph_chains_offloaded_modules_in_order() {
+        let s = scenario(
+            Placement::accel_only(),
+            Bytes::new(512),
+            Bandwidth::gbps(10.0),
+        );
+        // ingress, arm, 4 modules, egress.
+        assert_eq!(s.graph.nodes().len(), 7);
+        assert_eq!(s.graph.paths().unwrap().len(), 1);
+    }
+}

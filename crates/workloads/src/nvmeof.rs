@@ -1,0 +1,281 @@
+//! Case study #2: the NVMe-oF target on the Broadcom Stingray
+//! (§4.3, Figs. 6 and 7).
+//!
+//! The execution graph is Fig. 2c of the paper: RDMA packets arrive at
+//! the Ethernet ingress, a NIC-core stage (IP1) runs the
+//! NVMe-over-RDMA target protocol and fabricates NVMe commands, the
+//! SSD (IP2) executes the I/O, and a second NIC-core stage (IP3)
+//! builds the response. Edges 2/3 traverse both the SoC interconnect
+//! and DRAM.
+//!
+//! The SSD is opaque: the model's parameters for it come from the
+//! paper's curve-fitting technique ([`characterize_ssd`] +
+//! [`lognic_devices::stingray::fit_service`]), while the simulator
+//! runs the stateful [`lognic_devices::stingray::SsdService`]
+//! (optionally with garbage collection for the Fig. 7 mismatch).
+
+use crate::scenario::Scenario;
+use lognic_devices::stingray::{IoPattern, SsdProfile, Stingray};
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::params::{EdgeParams, IpParams, PacketSizeDist, TrafficProfile};
+use lognic_model::units::{Bandwidth, Seconds};
+use lognic_sim::metrics::SimReport;
+use lognic_sim::service::ServiceDist;
+use lognic_sim::sim::{SimConfig, Simulation};
+
+/// Cores assigned to each of the submission (IP1) and completion
+/// (IP3) paths.
+const CORES_PER_PATH: u32 = 4;
+
+/// The traffic profile realizing `pattern` at `rate` (I/O bytes per
+/// second on the wire).
+pub fn traffic_for(pattern: IoPattern, rate: Bandwidth) -> TrafficProfile {
+    let g = pattern.granularity();
+    match pattern {
+        IoPattern::MixedRand4k { read_ratio } => {
+            let dist = if read_ratio <= 0.0 {
+                // All writes: a single class, which must be class 1.
+                PacketSizeDist::mix([(g, 1e-9), (g, 1.0)]).expect("valid weights")
+            } else if read_ratio >= 1.0 {
+                PacketSizeDist::fixed(g)
+            } else {
+                PacketSizeDist::mix([(g, read_ratio), (g, 1.0 - read_ratio)])
+                    .expect("valid weights")
+            };
+            TrafficProfile::new(rate, dist).with_granularity(g)
+        }
+        IoPattern::SeqWrite4k => {
+            // Class 1 = write.
+            let dist = PacketSizeDist::mix([(g, 1e-9), (g, 1.0)]).expect("valid weights");
+            TrafficProfile::new(rate, dist).with_granularity(g)
+        }
+        _ => TrafficProfile::fixed(rate, g),
+    }
+}
+
+/// Builds the full NVMe-oF target scenario with the SSD's model
+/// parameters taken from `ssd` (either the ground-truth profile or a
+/// curve fit).
+pub fn nvmeof_with_ssd_params(pattern: IoPattern, rate: Bandwidth, ssd: IpParams) -> Scenario {
+    let g = pattern.granularity();
+    let cost = Stingray::nvmeof_core_cost();
+    let mut b = ExecutionGraph::builder("nvmeof-target");
+    let ing = b.ingress("eth-ingress");
+    let ip1 = b.ip(
+        "nic-core-submit",
+        IpParams::new(cost.peak(g, CORES_PER_PATH))
+            .with_parallelism(CORES_PER_PATH)
+            .with_queue_capacity(256),
+    );
+    let ssd_node = b.ip("ssd", ssd);
+    let ip3 = b.ip(
+        "nic-core-complete",
+        IpParams::new(cost.peak(g, CORES_PER_PATH))
+            .with_parallelism(CORES_PER_PATH)
+            .with_queue_capacity(256),
+    );
+    let eg = b.egress("eth-egress");
+    b.edge(ing, ip1, EdgeParams::full());
+    b.edge(ip1, ssd_node, EdgeParams::full().with_memory_fraction(1.0));
+    b.edge(ssd_node, ip3, EdgeParams::full().with_memory_fraction(1.0));
+    b.edge(ip3, eg, EdgeParams::full());
+    let graph = b.build().expect("nvmeof graph is valid by construction");
+
+    Scenario::new(
+        &format!("nvmeof-{pattern:?}-{rate}"),
+        graph,
+        Stingray::hardware(),
+        traffic_for(pattern, rate),
+    )
+}
+
+/// Builds the NVMe-oF target scenario with the ground-truth SSD
+/// profile as the model's parameters.
+pub fn nvmeof(pattern: IoPattern, rate: Bandwidth) -> Scenario {
+    nvmeof_with_ssd_params(pattern, rate, SsdProfile::for_pattern(pattern).ip_params())
+}
+
+/// Simulates `scenario` with the stateful SSD device model attached
+/// to its `ssd` vertex. `gc` enables garbage collection (Fig. 7).
+pub fn simulate_with_ssd(
+    scenario: &Scenario,
+    pattern: IoPattern,
+    gc: bool,
+    config: SimConfig,
+) -> SimReport {
+    let profile = SsdProfile::for_pattern(pattern);
+    Simulation::builder(&scenario.graph, &scenario.hardware, &scenario.traffic)
+        .config(config)
+        .override_service(
+            "ssd",
+            Box::new(profile.service_model(ServiceDist::Exponential, gc)),
+        )
+        .run()
+}
+
+/// The offered wire rate corresponding to `iops` I/Os of the pattern's
+/// granularity per second.
+pub fn rate_for_iops(pattern: IoPattern, iops: f64) -> Bandwidth {
+    Bandwidth::bps(iops * pattern.granularity().bits() as f64)
+}
+
+/// The paper's characterization step: drive the raw SSD (a minimal
+/// ingress → ssd → egress graph, no core stages) at each utilization
+/// fraction of its nominal capacity and record `(IOPS, mean latency)`
+/// observations for curve fitting.
+pub fn characterize_ssd(pattern: IoPattern, fractions: &[f64], seed: u64) -> Vec<(f64, Seconds)> {
+    let profile = SsdProfile::for_pattern(pattern);
+    let mut out = Vec::with_capacity(fractions.len());
+    for (i, frac) in fractions.iter().enumerate() {
+        let iops = profile.peak_iops() * frac;
+        let rate = rate_for_iops(pattern, iops);
+        let mut b = ExecutionGraph::builder("ssd-raw");
+        let ing = b.ingress("in");
+        let ssd = b.ip("ssd", profile.ip_params());
+        let eg = b.egress("out");
+        b.edge(ing, ssd, EdgeParams::full().with_interface_fraction(0.0));
+        b.edge(ssd, eg, EdgeParams::full().with_interface_fraction(0.0));
+        let graph = b.build().expect("valid");
+        let report =
+            Simulation::builder(&graph, &Stingray::hardware(), &traffic_for(pattern, rate))
+                .seed(seed + i as u64)
+                .duration(Seconds::millis(400.0))
+                .warmup(Seconds::millis(80.0))
+                .override_service(
+                    "ssd",
+                    Box::new(profile.service_model(ServiceDist::Exponential, false)),
+                )
+                .run();
+        let delivered_iops = report.throughput.as_bps() / pattern.granularity().bits() as f64;
+        out.push((delivered_iops, report.latency.mean));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_devices::stingray::fit_service;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            duration: Seconds::millis(300.0),
+            warmup: Seconds::millis(60.0),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn graph_matches_fig2c_shape() {
+        let s = nvmeof(IoPattern::RandRead4k, Bandwidth::gbps(5.0));
+        assert_eq!(s.graph.nodes().len(), 5);
+        assert_eq!(s.graph.edges().len(), 4);
+        let paths = s.graph.paths().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(s.graph.node_by_name("ssd").is_some());
+    }
+
+    #[test]
+    fn ssd_binds_throughput() {
+        let s = nvmeof(IoPattern::RandRead4k, Bandwidth::gbps(80.0));
+        let est = s.estimator().throughput().unwrap();
+        // 640 K IOPS × 4 KiB × 8 ≈ 21 Gb/s.
+        assert!(
+            (est.attainable().as_gbps() - 20.97).abs() < 0.1,
+            "{}",
+            est.attainable()
+        );
+    }
+
+    #[test]
+    fn latency_dominated_by_ssd_at_low_load() {
+        let s = nvmeof(
+            IoPattern::RandRead4k,
+            rate_for_iops(IoPattern::RandRead4k, 64_000.0),
+        );
+        let est = s.estimator().latency().unwrap();
+        // ~100 µs SSD + ~6.6 µs cores + transfers.
+        assert!(est.mean().as_micros() > 100.0);
+        assert!(est.mean().as_micros() < 125.0, "{}", est.mean());
+    }
+
+    #[test]
+    fn model_latency_tracks_sim_for_rand_read() {
+        // The Fig. 6 headline: < a few percent latency error at
+        // moderate load.
+        let pattern = IoPattern::RandRead4k;
+        for frac in [0.3, 0.6, 0.8] {
+            let rate = rate_for_iops(pattern, SsdProfile::for_pattern(pattern).peak_iops() * frac);
+            let s = nvmeof(pattern, rate);
+            let model = s.estimator().latency().unwrap().mean();
+            let sim = simulate_with_ssd(&s, pattern, false, cfg());
+            let err =
+                (model.as_secs() - sim.latency.mean.as_secs()).abs() / sim.latency.mean.as_secs();
+            assert!(
+                err < 0.08,
+                "frac={frac}: model {model} vs sim {} (err {err})",
+                sim.latency.mean
+            );
+        }
+    }
+
+    #[test]
+    fn write_pattern_routes_to_class_one() {
+        let t = traffic_for(IoPattern::SeqWrite4k, Bandwidth::gbps(1.0));
+        // Essentially all probability mass on the write class.
+        let entries = t.sizes().entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[1].1 > 0.999);
+    }
+
+    #[test]
+    fn mixed_pattern_splits_classes_by_ratio() {
+        let t = traffic_for(
+            IoPattern::MixedRand4k { read_ratio: 0.7 },
+            Bandwidth::gbps(1.0),
+        );
+        let entries = t.sizes().entries();
+        assert_eq!(entries.len(), 2);
+        assert!((entries[0].1 - 0.7).abs() < 1e-9);
+        assert!((entries[1].1 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gc_makes_write_heavy_sim_beat_the_model() {
+        // Fig. 7: the analytical model (GC always at its steady cost)
+        // underpredicts the characterized bandwidth.
+        let pattern = IoPattern::MixedRand4k { read_ratio: 0.3 };
+        let rate = rate_for_iops(pattern, 500_000.0); // overdrive
+        let s = nvmeof(pattern, rate);
+        let model = s.estimate().unwrap().delivered;
+        let sim = simulate_with_ssd(&s, pattern, true, cfg());
+        assert!(
+            sim.throughput.as_bps() > model.as_bps(),
+            "sim {} must exceed model {}",
+            sim.throughput,
+            model
+        );
+    }
+
+    #[test]
+    fn characterize_and_fit_recovers_ssd_capacity() {
+        let pattern = IoPattern::RandRead4k;
+        let obs = characterize_ssd(pattern, &[0.3, 0.6, 0.8, 0.9, 0.96], 7);
+        assert_eq!(obs.len(), 5);
+        let fit = fit_service(&obs, 256);
+        let profile = SsdProfile::for_pattern(pattern);
+        let fit_iops = fit.parallelism as f64 / fit.service.as_secs();
+        let err = (fit_iops - profile.peak_iops()).abs() / profile.peak_iops();
+        assert!(
+            err < 0.25,
+            "fit {fit_iops} vs truth {} ({err})",
+            profile.peak_iops()
+        );
+    }
+
+    #[test]
+    fn rate_for_iops_round_trips() {
+        let r = rate_for_iops(IoPattern::RandRead4k, 100_000.0);
+        assert!((r.as_bps() - 100_000.0 * 4096.0 * 8.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Future-work extension (§5.3): applying LogNIC to a programmable
+//! RMT switch, on a NetCache-style in-network key-value cache.
+//!
+//! The switch's match-action pipeline answers hot-key reads directly
+//! (a *hit*); misses continue to a backend storage server and return.
+//! The execution graph fans out at the cache-lookup vertex by the hit
+//! ratio: the hit path turns around inside the switch at line rate,
+//! the miss path pays the backend's service time and the extra hops.
+//! This is exactly the load-absorption argument of the in-network
+//! caching papers, produced by the same model that handles SmartNICs.
+
+use crate::scenario::Scenario;
+use lognic_devices::rmt_switch::RmtSwitch;
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::params::{EdgeParams, IpParams, TrafficProfile};
+use lognic_model::units::{Bandwidth, Bytes, Seconds};
+
+/// Query packet size (key + small value).
+pub const QUERY_SIZE: Bytes = Bytes::new(128);
+
+/// The backend storage server's aggregate service capacity for cache
+/// misses.
+pub fn backend_capacity() -> Bandwidth {
+    Bandwidth::gbps(12.0)
+}
+
+/// Backend per-request service time contribution (storage lookup).
+pub fn backend_service() -> Seconds {
+    Seconds::micros(8.0)
+}
+
+/// Builds the in-network KV cache scenario at the given cache hit
+/// ratio.
+///
+/// # Panics
+///
+/// Panics if `hit_ratio` is outside `[0, 1)`.
+pub fn netcache(hit_ratio: f64, rate: Bandwidth) -> Scenario {
+    assert!(
+        (0.0..1.0).contains(&hit_ratio),
+        "hit ratio must lie in [0, 1)"
+    );
+    let miss = 1.0 - hit_ratio;
+
+    let mut b = ExecutionGraph::builder("netcache");
+    let ing = b.ingress("rx");
+    let pipe = b.ip("rmt-pipeline", RmtSwitch::pipe_params(QUERY_SIZE));
+    // Backend capacity expressed per-request: 8 µs lookups across 16
+    // service threads, capped by its NIC.
+    let backend_rate = backend_capacity().min(Bandwidth::bps(
+        16.0 * QUERY_SIZE.bits() as f64 / backend_service().as_secs(),
+    ));
+    let backend = b.ip(
+        "backend-server",
+        IpParams::new(backend_rate)
+            .with_parallelism(16)
+            .with_queue_capacity(256),
+    );
+    // The response pass back through the pipeline (hits turn around
+    // here directly; misses recirculate through it on the way back).
+    let pipe_out = b.ip("rmt-egress-pass", RmtSwitch::pipe_params(QUERY_SIZE));
+    let eg = b.egress("tx");
+
+    b.edge(ing, pipe, EdgeParams::full().with_interface_fraction(0.1));
+    // Hit path: straight to the egress pass.
+    b.edge(
+        pipe,
+        pipe_out,
+        EdgeParams::new(hit_ratio)
+            .expect("valid ratio")
+            .with_interface_fraction(0.1 * hit_ratio),
+    );
+    // Miss path: out to the backend and back.
+    b.edge(
+        pipe,
+        backend,
+        EdgeParams::new(miss)
+            .expect("valid ratio")
+            .with_interface_fraction(0.0)
+            .with_dedicated_bandwidth(Bandwidth::gbps(100.0)),
+    );
+    b.edge(
+        backend,
+        pipe_out,
+        EdgeParams::new(miss)
+            .expect("valid ratio")
+            .with_interface_fraction(0.0)
+            .with_dedicated_bandwidth(Bandwidth::gbps(100.0)),
+    );
+    b.edge(
+        pipe_out,
+        eg,
+        EdgeParams::full().with_interface_fraction(0.1),
+    );
+    let graph = b.build().expect("netcache graph is valid by construction");
+
+    Scenario::new(
+        &format!("netcache-hit{:.0}", hit_ratio * 100.0),
+        graph,
+        RmtSwitch::hardware(),
+        TrafficProfile::fixed(rate, QUERY_SIZE),
+    )
+}
+
+/// The model's sustainable query rate at a hit ratio (per second).
+pub fn capacity_qps(hit_ratio: f64) -> f64 {
+    let s = netcache(hit_ratio, RmtSwitch::pipe_rate());
+    let est = s.estimator().throughput().expect("valid scenario");
+    let bound = match est.saturation_bound() {
+        Some(b) => b.limit.min(RmtSwitch::pipe_rate()),
+        None => RmtSwitch::pipe_rate(),
+    };
+    bound.as_bps() / QUERY_SIZE.bits() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_sim::sim::SimConfig;
+
+    #[test]
+    fn capacity_scales_inversely_with_miss_ratio() {
+        // Backend binds: capacity ∝ 1/(1−h).
+        let c50 = capacity_qps(0.5);
+        let c90 = capacity_qps(0.9);
+        assert!(
+            (c90 / c50 - 5.0).abs() < 0.05,
+            "90% hits should serve 5x the queries of 50%: {c90} vs {c50}"
+        );
+    }
+
+    #[test]
+    fn backend_binds_at_low_hit_ratio() {
+        let s = netcache(0.2, Bandwidth::gbps(200.0));
+        let est = s.estimator().throughput().unwrap();
+        let b = est.bottleneck();
+        assert!(
+            format!("{}", b.component).contains("backend"),
+            "bottleneck = {}",
+            b.component
+        );
+    }
+
+    #[test]
+    fn hits_turn_around_faster_than_misses() {
+        let low = netcache(0.1, Bandwidth::gbps(5.0));
+        let high = netcache(0.9, Bandwidth::gbps(5.0));
+        let l_low = low.estimator().latency().unwrap().mean();
+        let l_high = high.estimator().latency().unwrap().mean();
+        assert!(
+            l_high.as_secs() < l_low.as_secs() / 2.0,
+            "90% hits: {l_high}, 10% hits: {l_low}"
+        );
+    }
+
+    #[test]
+    fn model_tracks_simulation_at_moderate_load() {
+        let hit = 0.8;
+        let rate = Bandwidth::bps(0.6 * capacity_qps(hit) * QUERY_SIZE.bits() as f64);
+        let s = netcache(hit, rate);
+        let cfg = SimConfig {
+            duration: Seconds::millis(20.0),
+            warmup: Seconds::millis(4.0),
+            ..SimConfig::default()
+        };
+        let c = s.compare(cfg).unwrap();
+        assert!(
+            c.throughput_error() < 0.05,
+            "tput err {}",
+            c.throughput_error()
+        );
+        assert!(c.latency_error() < 0.15, "lat err {}", c.latency_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn rejects_unit_hit_ratio() {
+        let _ = netcache(1.0, Bandwidth::gbps(1.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Case study #1: inline acceleration on the LiquidIO-II.
+//!
+//! Sweeps the NIC-core parallelism for three accelerators at MTU line
+//! rate (the paper's Fig. 9 experiment), printing model vs simulation
+//! and the saturation knee the optimizer suggests.
+//!
+//! Run with `cargo run --release --example inline_acceleration`.
+
+use lognic::devices::liquidio::LiquidIo;
+use lognic::model::units::{Bytes, Seconds};
+use lognic::optimizer::suggest::suggest_inline_cores;
+use lognic::sim::sim::SimConfig;
+use lognic::workloads::inline_accel::{inline, FIG9_ACCELS};
+
+fn main() {
+    let mtu = Bytes::new(1500);
+    let cfg = SimConfig {
+        duration: Seconds::millis(20.0),
+        warmup: Seconds::millis(4.0),
+        ..SimConfig::default()
+    };
+
+    for accel in FIG9_ACCELS {
+        println!("=== {} (inline, MTU, 25 GbE line rate) ===", accel.name());
+        println!(
+            "{:>6} {:>14} {:>14} {:>8}",
+            "cores", "model Gbps", "sim Gbps", "err"
+        );
+        for cores in [1, 2, 4, 6, 8, 10, 12, 16] {
+            let scenario = inline(accel, cores, mtu, LiquidIo::line_rate());
+            let model = scenario
+                .estimator()
+                .throughput()
+                .expect("valid scenario")
+                .attainable();
+            let sim = scenario.simulate(cfg);
+            println!(
+                "{cores:>6} {:>14.3} {:>14.3} {:>7.2}%",
+                model.as_gbps(),
+                sim.throughput.as_gbps(),
+                100.0 * (model.as_bps() - sim.throughput.as_bps()).abs() / sim.throughput.as_bps()
+            );
+        }
+        let knee = suggest_inline_cores(accel, mtu);
+        println!(
+            "LogNIC suggestion: {knee} cores saturate the {} path (device anchor: {})",
+            accel.name(),
+            LiquidIo::cores_to_saturate(accel, mtu)
+        );
+        println!();
+    }
+}

@@ -1,0 +1,72 @@
+//! Case study #3: tuning microservice parallelism on the LiquidIO-II.
+//!
+//! For each E3 application, prints the LogNIC-optimal NIC-core
+//! allocation and compares throughput/latency against the round-robin
+//! and equal-partition baselines at 80 % load.
+//!
+//! Run with `cargo run --release --example microservice_tuning`.
+
+use lognic::model::units::Seconds;
+use lognic::optimizer::suggest::{suggest_core_allocation, suggest_nic_host_split};
+use lognic::sim::sim::SimConfig;
+use lognic::workloads::microservices::{capacity, scenario, split_capacity, AllocationScheme, App};
+
+fn main() {
+    let cfg = SimConfig {
+        duration: Seconds::millis(60.0),
+        warmup: Seconds::millis(12.0),
+        ..SimConfig::default()
+    };
+
+    for app in App::ALL {
+        let alloc = suggest_core_allocation(app);
+        let stages: Vec<String> = app
+            .stages()
+            .iter()
+            .zip(&alloc)
+            .map(|((name, cost), cores)| format!("{name}×{cores} ({:.1}us)", cost.as_micros()))
+            .collect();
+        println!(
+            "=== {} — suggested allocation: {} ===",
+            app.name(),
+            stages.join(", ")
+        );
+
+        let offered = 0.8 * capacity(app, AllocationScheme::LogNicOpt);
+        println!(
+            "offered load: {:.3} Mrps (80% of the optimal capacity)",
+            offered / 1e6
+        );
+        println!(
+            "{:>16} {:>12} {:>12} {:>10}",
+            "scheme", "tput Mrps", "latency us", "drops"
+        );
+        for scheme in AllocationScheme::ALL {
+            let s = scenario(app, scheme, offered);
+            let report = s.simulate(cfg);
+            println!(
+                "{:>16} {:>12.3} {:>12.2} {:>9.2}%",
+                scheme.name(),
+                report.throughput.as_bps() / (512.0 * 8.0) / 1e6,
+                report.latency.mean.as_micros(),
+                report.loss_rate() * 100.0
+            );
+        }
+        // The orchestrator's question: should any stage migrate to the
+        // host? The model answers directly.
+        let split = suggest_nic_host_split(app);
+        let n = app.stages().len();
+        let labels: Vec<&str> = split
+            .iter()
+            .map(|h| if *h { "host" } else { "NIC" })
+            .collect();
+        println!(
+            "NIC/host split: [{}] -> {:.3} Mrps (all-NIC {:.3}, all-host {:.3})",
+            labels.join(", "),
+            split_capacity(app, &split) / 1e6,
+            split_capacity(app, &vec![false; n]) / 1e6,
+            split_capacity(app, &vec![true; n]) / 1e6,
+        );
+        println!();
+    }
+}

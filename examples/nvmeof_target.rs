@@ -1,0 +1,69 @@
+//! Case study #2: the NVMe-oF target on the Broadcom Stingray.
+//!
+//! Characterizes the opaque SSD by sweeping the offered I/O rate,
+//! curve-fits M/M/c/N parameters (the paper's §4.3 technique), then
+//! predicts the full target path's latency-throughput curve and
+//! compares it with the simulated device.
+//!
+//! Run with `cargo run --release --example nvmeof_target`.
+
+use lognic::devices::stingray::{fit_service, IoPattern, SsdProfile};
+use lognic::model::units::Seconds;
+use lognic::sim::sim::SimConfig;
+use lognic::workloads::nvmeof::{
+    characterize_ssd, nvmeof_with_ssd_params, rate_for_iops, simulate_with_ssd,
+};
+
+fn main() {
+    let pattern = IoPattern::RandRead4k;
+    let profile = SsdProfile::for_pattern(pattern);
+
+    // 1. Characterize the raw SSD (the paper's remedy for opaque IPs).
+    println!("characterizing the SSD (4 KB random read)...");
+    let observations = characterize_ssd(pattern, &[0.3, 0.6, 0.8, 0.9, 0.96], 7);
+    for (iops, latency) in &observations {
+        println!("  {:>9.0} IOPS -> {:>8.1} us", iops, latency.as_micros());
+    }
+
+    // 2. Curve-fit model parameters.
+    let fit = fit_service(&observations, profile.queue_depth);
+    println!(
+        "fitted: service {:.1} us x {} channels (ground truth: {:.1} us x {})",
+        fit.service.as_micros(),
+        fit.parallelism,
+        profile.read_service.as_micros(),
+        profile.channels
+    );
+
+    // 3. Predict the full NVMe-oF path and compare with simulation.
+    let ssd_params = fit.ip_params(pattern.granularity(), profile.queue_depth);
+    let cfg = SimConfig {
+        duration: Seconds::millis(300.0),
+        warmup: Seconds::millis(60.0),
+        ..SimConfig::default()
+    };
+    println!();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8}",
+        "load", "tput GB/s", "sim us", "model us", "err"
+    );
+    for frac in [0.2, 0.4, 0.6, 0.75, 0.85, 0.92] {
+        let rate = rate_for_iops(pattern, profile.peak_iops() * frac);
+        let scenario = nvmeof_with_ssd_params(pattern, rate, ssd_params);
+        let model = scenario
+            .estimator()
+            .latency()
+            .expect("valid scenario")
+            .mean();
+        let sim = simulate_with_ssd(&scenario, pattern, false, cfg);
+        println!(
+            "{:>5.0}% {:>12.3} {:>12.1} {:>12.1} {:>7.2}%",
+            frac * 100.0,
+            sim.throughput.as_bps() / 8e9,
+            sim.latency.mean.as_micros(),
+            model.as_micros(),
+            100.0 * (model.as_secs() - sim.latency.mean.as_secs()).abs()
+                / sim.latency.mean.as_secs()
+        );
+    }
+}

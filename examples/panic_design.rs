@@ -1,0 +1,91 @@
+//! Case study #5: guiding new SmartNIC hardware design on PANIC.
+//!
+//! Uses the model to answer three early-stage design questions without
+//! a cycle-level simulator: how many credits a compute unit needs, how
+//! the central scheduler should steer traffic across unequal
+//! accelerators, and how much parallelism a shared unit needs.
+//!
+//! Run with `cargo run --release --example panic_design`.
+
+use lognic::model::units::{Bandwidth, Bytes};
+use lognic::optimizer::suggest::{suggest_credits, suggest_ip4_degree, suggest_steering_split};
+use lognic::workloads::panic_scenarios::{
+    hybrid, pipelined_chain, steering, CREDIT_PROFILES, HYBRID_SPLITS, STATIC_SPLITS,
+};
+
+fn main() {
+    // Scenario 1: sizing the request queue (credits) of an accelerator.
+    println!("=== scenario 1: minimal credits per compute unit ===");
+    let line = Bandwidth::gbps(100.0);
+    for (i, sizes) in CREDIT_PROFILES.iter().enumerate() {
+        let suggestion = suggest_credits(sizes, line);
+        let caps: Vec<String> = (1..=8)
+            .map(|c| {
+                let att = pipelined_chain(c, sizes, line)
+                    .estimator()
+                    .throughput()
+                    .expect("valid scenario")
+                    .attainable();
+                format!("{:.0}", att.as_gbps())
+            })
+            .collect();
+        println!(
+            "profile {} (sizes {:?}): attainable Gbps by credits [{}] -> suggest {}",
+            i + 1,
+            sizes,
+            caps.join(", "),
+            suggestion
+        );
+    }
+
+    // Scenario 2: steering traffic at the central scheduler.
+    println!();
+    println!("=== scenario 2: traffic steering across A1:A2:A3 = 4:7:3 ===");
+    let rate = Bandwidth::gbps(80.0);
+    let size = Bytes::new(512);
+    let suggested = suggest_steering_split(size, rate);
+    println!(
+        "LogNIC split: {:.0}% to A2, {:.0}% to A3",
+        suggested * 100.0,
+        (0.8 - suggested) * 100.0
+    );
+    for x in STATIC_SPLITS.iter().chain(std::iter::once(&suggested)) {
+        let s = steering(*x, size, rate);
+        let est = s.estimate().expect("valid scenario");
+        println!(
+            "  A2 share {:>4.0}%: throughput {:>7.2}, latency {:>8.2}us{}",
+            x * 100.0,
+            est.delivered,
+            est.latency.mean().as_micros(),
+            if (x - suggested).abs() < 1e-6 {
+                "   <- LogNIC"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // Scenario 3: configuring the IP hardware parallelism.
+    println!();
+    println!("=== scenario 3: IP4 parallel degree in the hybrid chain ===");
+    for (i, share) in HYBRID_SPLITS.iter().enumerate() {
+        let suggestion = suggest_ip4_degree(*share, Bytes::new(1024), rate);
+        let caps: Vec<String> = (1..=8)
+            .map(|d| {
+                let att = hybrid(d, *share, Bytes::new(1024), rate)
+                    .estimator()
+                    .throughput()
+                    .expect("valid scenario")
+                    .attainable();
+                format!("{:.0}", att.as_gbps())
+            })
+            .collect();
+        println!(
+            "traffic profile {} (IP3 share {:.0}%): Gbps by degree [{}] -> suggest {}",
+            i + 1,
+            share * 100.0,
+            caps.join(", "),
+            suggestion
+        );
+    }
+}

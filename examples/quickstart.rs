@@ -1,0 +1,71 @@
+//! Quickstart: model a SmartNIC-offloaded UDP echo server, estimate
+//! its performance, find the bottleneck, and cross-check against the
+//! discrete-event simulator.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lognic::model::prelude::*;
+use lognic::sim::prelude::*;
+
+fn main() -> lognic::model::error::Result<()> {
+    // 1. Describe the program as an execution graph: packets flow
+    //    ingress → NIC cores → crypto engine → egress.
+    let mut b = ExecutionGraph::builder("udp-echo-md5");
+    let ing = b.ingress("rx-port");
+    let cores = b.ip(
+        "nic-cores",
+        IpParams::new(Bandwidth::gbps(22.0))
+            .with_parallelism(8)
+            .with_queue_capacity(128),
+    );
+    let md5 = b.ip(
+        "md5-engine",
+        IpParams::new(Bandwidth::gbps(21.6))
+            .with_parallelism(4)
+            .with_queue_capacity(64),
+    );
+    let eg = b.egress("tx-port");
+    b.edge(ing, cores, EdgeParams::full().with_interface_fraction(0.0));
+    b.edge(cores, md5, EdgeParams::full()); // over the coherent interconnect
+    b.edge(md5, eg, EdgeParams::full().with_interface_fraction(0.05));
+    let graph = b.build()?;
+
+    // 2. Describe the device and the traffic.
+    let hw = HardwareModel::new(Bandwidth::gbps(50.0), Bandwidth::gbps(102.0));
+    let traffic = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+
+    // 3. Estimate.
+    let estimate = Estimator::new(&graph, &hw, &traffic).estimate()?;
+    println!(
+        "attainable throughput : {}",
+        estimate.throughput.attainable()
+    );
+    println!(
+        "bottleneck            : {}",
+        estimate.throughput.bottleneck().component
+    );
+    println!("mean latency          : {}", estimate.latency.mean());
+    println!("delivered (with drops): {}", estimate.delivered);
+    println!();
+    println!("capacity bounds (ascending):");
+    for bound in estimate.throughput.bounds() {
+        println!("  {:<22} {}", bound.component.to_string(), bound.limit);
+    }
+
+    // 4. Cross-check with the simulator.
+    let report = Simulation::builder(&graph, &hw, &traffic)
+        .seed(42)
+        .duration(Seconds::millis(20.0))
+        .warmup(Seconds::millis(4.0))
+        .run();
+    println!();
+    println!("simulated throughput  : {}", report.throughput);
+    println!("simulated mean latency: {}", report.latency.mean);
+    println!("simulated p99 latency : {}", report.latency.p99);
+    println!(
+        "model throughput error: {:.2}%",
+        100.0 * (estimate.delivered.as_bps() - report.throughput.as_bps()).abs()
+            / report.throughput.as_bps()
+    );
+    Ok(())
+}

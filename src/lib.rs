@@ -1,0 +1,45 @@
+//! # lognic
+//!
+//! A Rust reproduction of **LogNIC: A High-Level Performance Model for
+//! SmartNICs** (MICRO '23). This facade crate re-exports the whole
+//! workspace:
+//!
+//! * [`model`] — the analytical LogNIC model: execution graphs,
+//!   throughput/latency estimation, M/M/1/N (and M/M/c/N) queueing,
+//!   multi-tenant and mixed-traffic extensions, extended rooflines.
+//! * [`sim`] — a packet-level discrete-event simulator of the same
+//!   hardware abstraction, standing in for the paper's physical
+//!   SmartNIC testbeds.
+//! * [`devices`] — calibrated profiles of the paper's four devices
+//!   (LiquidIO-II, Stingray + SSD, BlueField-2, PANIC).
+//! * [`workloads`] — the five case-study scenarios (inline
+//!   acceleration, NVMe-oF target, E3 microservices, NF placement,
+//!   PANIC design exploration).
+//! * [`optimizer`] — the optimizer mode: constrained search over the
+//!   model's configurable parameters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lognic::model::prelude::*;
+//!
+//! # fn main() -> lognic::model::error::Result<()> {
+//! let graph = ExecutionGraph::chain(
+//!     "udp-echo",
+//!     &[("nic-cores", IpParams::new(Bandwidth::gbps(18.0)).with_parallelism(8))],
+//! )?;
+//! let hw = HardwareModel::new(Bandwidth::gbps(50.0), Bandwidth::gbps(40.0));
+//! let traffic = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+//! let estimate = Estimator::new(&graph, &hw, &traffic).estimate()?;
+//! assert_eq!(estimate.throughput.attainable(), Bandwidth::gbps(18.0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lognic_devices as devices;
+pub use lognic_model as model;
+pub use lognic_optimizer as optimizer;
+pub use lognic_sim as sim;
+pub use lognic_workloads as workloads;

@@ -1,0 +1,57 @@
+//! Smoke tests of the figure-regeneration harness: every advertised
+//! id resolves, and the cheap (model-dominated) figures produce
+//! well-formed tables with their paper-anchor notes. The expensive
+//! full-fidelity runs live in the `figures` binary
+//! (`figures_full.txt` / `ablations_full.txt`).
+
+use lognic_bench::{all_figure_ids, generate, Fidelity};
+
+#[test]
+fn every_advertised_id_is_known() {
+    for id in all_figure_ids() {
+        // Resolution only — actually generating all of them belongs to
+        // the binary. `generate` returning a table proves the id maps
+        // to a builder; we spot-generate the cheap ones below.
+        assert!(
+            [
+                "fig5", "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "fig15", "fig16", "fig17", "fig18", "fig19",
+            ]
+            .contains(&id),
+            "unexpected id {id}"
+        );
+    }
+    assert!(generate("not-a-figure", Fidelity::Quick).is_none());
+}
+
+#[test]
+fn fig10_quick_has_anchor_note_and_full_grid() {
+    let t = generate("fig10", Fidelity::Quick).expect("known figure");
+    // 6 engines × 6 sizes.
+    assert_eq!(t.rows.len(), 36);
+    assert!(t.notes.iter().any(|n| n.contains("MIN")), "{:?}", t.notes);
+}
+
+#[test]
+fn fig18_quick_reports_paper_degrees() {
+    let t = generate("fig18", Fidelity::Quick).expect("known figure");
+    assert_eq!(t.rows.len(), 16, "2 profiles x 8 degrees");
+    assert!(
+        t.notes.iter().any(|n| n.contains("TP1 6 / TP2 4")),
+        "degree suggestions missing: {:?}",
+        t.notes
+    );
+}
+
+// fig15's quick run still simulates 32 line-rate chains, which is too
+// slow for the debug-profile test run; its credit-suggestion anchor is
+// covered by `tests/case_studies.rs` (release) and the figures binary.
+
+#[test]
+fn baseline_models_quick_is_well_formed() {
+    let t = generate("baseline-models", Fidelity::Quick).expect("known ablation");
+    assert_eq!(t.columns.len(), 5);
+    assert_eq!(t.rows.len(), 5);
+    let rendered = t.to_string();
+    assert!(rendered.contains("LogCA"));
+}
