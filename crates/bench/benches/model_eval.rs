@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the analytical model behind each figure:
+//! Benchmarks (on the in-repo `lognic-testkit` harness) of the analytical model behind each figure:
 //! how fast one design-space point evaluates (the quantity that
 //! matters when the optimizer sweeps thousands of configurations).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lognic_testkit::Bench;
 use std::hint::black_box;
 
 use lognic_devices::liquidio::{Accelerator, LiquidIo};
@@ -10,7 +10,7 @@ use lognic_model::units::{Bandwidth, Bytes};
 use lognic_optimizer::suggest;
 use lognic_workloads::{inline_accel, microservices, nf_placement, nvmeof, panic_scenarios};
 
-fn fig05_granularity(c: &mut Criterion) {
+fn fig05_granularity(c: &mut Bench) {
     c.bench_function("fig05_granularity_model", |b| {
         b.iter(|| {
             for g in inline_accel::GRANULARITIES {
@@ -21,7 +21,7 @@ fn fig05_granularity(c: &mut Criterion) {
     });
 }
 
-fn fig09_parallelism(c: &mut Criterion) {
+fn fig09_parallelism(c: &mut Bench) {
     c.bench_function("fig09_parallelism_model", |b| {
         b.iter(|| {
             for cores in 1..=LiquidIo::CORES {
@@ -37,7 +37,7 @@ fn fig09_parallelism(c: &mut Criterion) {
     });
 }
 
-fn fig10_pktsize(c: &mut Criterion) {
+fn fig10_pktsize(c: &mut Bench) {
     c.bench_function("fig10_pktsize_model", |b| {
         b.iter(|| {
             for size in inline_accel::PACKET_SIZES {
@@ -53,7 +53,7 @@ fn fig10_pktsize(c: &mut Criterion) {
     });
 }
 
-fn fig06_nvmeof_latency(c: &mut Criterion) {
+fn fig06_nvmeof_latency(c: &mut Bench) {
     use lognic_devices::stingray::IoPattern;
     c.bench_function("fig06_nvmeof_latency_model", |b| {
         b.iter(|| {
@@ -66,7 +66,7 @@ fn fig06_nvmeof_latency(c: &mut Criterion) {
     });
 }
 
-fn fig07_mixed_rw(c: &mut Criterion) {
+fn fig07_mixed_rw(c: &mut Bench) {
     use lognic_devices::stingray::IoPattern;
     c.bench_function("fig07_mixed_rw_model", |b| {
         b.iter(|| {
@@ -81,7 +81,7 @@ fn fig07_mixed_rw(c: &mut Criterion) {
     });
 }
 
-fn fig11_12_allocation(c: &mut Criterion) {
+fn fig11_12_allocation(c: &mut Bench) {
     c.bench_function("fig11_e3_throughput_model", |b| {
         b.iter(|| {
             for app in microservices::App::ALL {
@@ -103,7 +103,7 @@ fn fig11_12_allocation(c: &mut Criterion) {
     });
 }
 
-fn fig13_14_placement(c: &mut Criterion) {
+fn fig13_14_placement(c: &mut Bench) {
     c.bench_function("fig13_placement_tput_model", |b| {
         b.iter(|| {
             black_box(nf_placement::optimal_for(Bytes::new(512)));
@@ -121,7 +121,7 @@ fn fig13_14_placement(c: &mut Criterion) {
     });
 }
 
-fn fig15_credits(c: &mut Criterion) {
+fn fig15_credits(c: &mut Bench) {
     c.bench_function("fig15_credits_suggest", |b| {
         b.iter(|| {
             black_box(suggest::suggest_credits(
@@ -132,7 +132,7 @@ fn fig15_credits(c: &mut Criterion) {
     });
 }
 
-fn fig16_17_steering(c: &mut Criterion) {
+fn fig16_17_steering(c: &mut Bench) {
     c.bench_function("fig16_steering_lat_model", |b| {
         b.iter(|| {
             for x in panic_scenarios::STATIC_SPLITS {
@@ -151,7 +151,7 @@ fn fig16_17_steering(c: &mut Criterion) {
     });
 }
 
-fn fig18_19_parallelism(c: &mut Criterion) {
+fn fig18_19_parallelism(c: &mut Bench) {
     c.bench_function("fig18_parallel_lat_model", |b| {
         b.iter(|| {
             for d in 1..=8 {
@@ -171,18 +171,16 @@ fn fig18_19_parallelism(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    name = model_eval;
-    config = Criterion::default().sample_size(20);
-    targets = fig05_granularity,
-        fig09_parallelism,
-        fig10_pktsize,
-        fig06_nvmeof_latency,
-        fig07_mixed_rw,
-        fig11_12_allocation,
-        fig13_14_placement,
-        fig15_credits,
-        fig16_17_steering,
-        fig18_19_parallelism
-);
-criterion_main!(model_eval);
+fn main() {
+    let mut c = Bench::new().sample_size(20);
+    fig05_granularity(&mut c);
+    fig09_parallelism(&mut c);
+    fig10_pktsize(&mut c);
+    fig06_nvmeof_latency(&mut c);
+    fig07_mixed_rw(&mut c);
+    fig11_12_allocation(&mut c);
+    fig13_14_placement(&mut c);
+    fig15_credits(&mut c);
+    fig16_17_steering(&mut c);
+    fig18_19_parallelism(&mut c);
+}

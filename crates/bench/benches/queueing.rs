@@ -1,13 +1,13 @@
-//! Criterion benchmarks of the queueing kernels (Eq. 9–12 and the
+//! Benchmarks (on the in-repo `lognic-testkit` harness) of the queueing kernels (Eq. 9–12 and the
 //! M/M/c/N generalization) — the model's inner loop.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lognic_testkit::Bench;
 use std::hint::black_box;
 
 use lognic_model::queueing::{Mm1n, MmcN};
 use lognic_model::units::Seconds;
 
-fn mm1n_kernel(c: &mut Criterion) {
+fn mm1n_kernel(c: &mut Bench) {
     c.bench_function("mm1n_queueing_factor", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -20,7 +20,7 @@ fn mm1n_kernel(c: &mut Criterion) {
     });
 }
 
-fn mmcn_kernel(c: &mut Criterion) {
+fn mmcn_kernel(c: &mut Bench) {
     c.bench_function("mmcn_queueing_delay_c64_n256", |b| {
         let s = Seconds::micros(100.0);
         b.iter(|| {
@@ -34,5 +34,8 @@ fn mmcn_kernel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(queueing, mm1n_kernel, mmcn_kernel);
-criterion_main!(queueing);
+fn main() {
+    let mut c = Bench::new();
+    mm1n_kernel(&mut c);
+    mmcn_kernel(&mut c);
+}

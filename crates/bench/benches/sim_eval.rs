@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the discrete-event simulator: events per
+//! Benchmarks (on the in-repo `lognic-testkit` harness) of the discrete-event simulator: events per
 //! second of wall time on representative workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lognic_testkit::Bench;
 use std::hint::black_box;
 
 use lognic_devices::liquidio::{Accelerator, LiquidIo};
@@ -18,14 +18,14 @@ fn short_cfg(seed: u64) -> SimConfig {
     }
 }
 
-fn sim_inline_chain(c: &mut Criterion) {
+fn sim_inline_chain(c: &mut Bench) {
     let s = inline_accel::inline(Accelerator::Md5, 9, Bytes::new(1500), LiquidIo::line_rate());
     c.bench_function("sim_inline_md5_2ms", |b| {
         b.iter(|| black_box(s.simulate(short_cfg(3))))
     });
 }
 
-fn sim_microservice_pipeline(c: &mut Criterion) {
+fn sim_microservice_pipeline(c: &mut Bench) {
     let s = microservices::scenario(
         microservices::App::NfvDin,
         microservices::AllocationScheme::LogNicOpt,
@@ -39,16 +39,16 @@ fn sim_microservice_pipeline(c: &mut Criterion) {
     });
 }
 
-fn sim_panic_hybrid(c: &mut Criterion) {
+fn sim_panic_hybrid(c: &mut Bench) {
     let s = panic_scenarios::hybrid(6, 0.5, Bytes::new(1024), Bandwidth::gbps(80.0));
     c.bench_function("sim_panic_hybrid_2ms", |b| {
         b.iter(|| black_box(s.simulate(short_cfg(7))))
     });
 }
 
-criterion_group!(
-    name = sim_eval;
-    config = Criterion::default().sample_size(10);
-    targets = sim_inline_chain, sim_microservice_pipeline, sim_panic_hybrid
-);
-criterion_main!(sim_eval);
+fn main() {
+    let mut c = Bench::new().sample_size(10);
+    sim_inline_chain(&mut c);
+    sim_microservice_pipeline(&mut c);
+    sim_panic_hybrid(&mut c);
+}

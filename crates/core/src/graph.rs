@@ -13,7 +13,6 @@ use crate::units::Bandwidth;
 
 /// Identifier of a vertex within one [`ExecutionGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -25,7 +24,6 @@ impl NodeId {
 
 /// Identifier of an edge within one [`ExecutionGraph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeId(pub(crate) usize);
 
 impl EdgeId {
@@ -37,7 +35,6 @@ impl EdgeId {
 
 /// The role a vertex plays in the hardware model (Fig. 2a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum NodeKind {
     /// The engine moving traffic from wire/PCIe into the SmartNIC.
     Ingress,
@@ -53,7 +50,6 @@ pub enum NodeKind {
 
 /// A vertex of the execution graph.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Node {
     name: String,
     kind: NodeKind,
@@ -83,7 +79,6 @@ impl Node {
 /// An edge of the execution graph: a data movement from one vertex to
 /// another across a communication medium.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Edge {
     src: NodeId,
     dst: NodeId,
@@ -262,7 +257,6 @@ impl ExecutionGraphBuilder {
 /// # }
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExecutionGraph {
     name: String,
     nodes: Vec<Node>,

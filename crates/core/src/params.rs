@@ -23,7 +23,6 @@ use crate::units::{Bandwidth, Bytes, Seconds};
 /// assert_eq!(hw.interface_bandwidth().as_gbps(), 50.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HardwareModel {
     bw_interface: Bandwidth,
     bw_memory: Bandwidth,
@@ -85,7 +84,6 @@ impl Default for HardwareModel {
 /// assert_eq!(p.parallelism(), 8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IpParams {
     peak: Bandwidth,
     parallelism: u32,
@@ -256,7 +254,6 @@ impl IpParams {
 /// assert_eq!(e.memory_fraction(), 1.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EdgeParams {
     delta: f64,
     interface_fraction: f64,
@@ -390,7 +387,6 @@ impl EdgeParams {
 /// assert!((mix.mean_size().as_f64() - 782.0).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PacketSizeDist {
     // Invariant: non-empty, weights positive and summing to 1.
     entries: Vec<(Bytes, f64)>,
@@ -485,7 +481,6 @@ impl PacketSizeDist {
 /// assert_eq!(t.granularity_for(Bytes::new(1500)), Bytes::new(1500));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrafficProfile {
     ingress_bandwidth: Bandwidth,
     sizes: PacketSizeDist,

@@ -11,7 +11,6 @@ use crate::units::{Bandwidth, Bytes, OpsRate};
 /// One bandwidth ceiling of the roofline: a data source feeding the
 /// engine.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ceiling {
     name: String,
     bandwidth: Bandwidth,
@@ -66,7 +65,6 @@ pub enum RooflineRegime {
 /// assert!(large.as_mops() < 0.4, "interconnect bound");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IpRoofline {
     peak: OpsRate,
     ops_per_packet: f64,

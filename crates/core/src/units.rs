@@ -22,7 +22,6 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(Bytes::kib(4), Bytes::new(4096));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bytes(u64);
 
 impl Bytes {
@@ -122,7 +121,6 @@ impl From<u64> for Bytes {
 /// assert!(line_rate > Bandwidth::gbps(10.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bandwidth(f64);
 
 impl Bandwidth {
@@ -293,7 +291,6 @@ impl Sum for Bandwidth {
 /// assert!((bw.as_gbps() - 2.8e6 * 64.0 * 8.0 / 1e9).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OpsRate(f64);
 
 impl OpsRate {
@@ -383,7 +380,6 @@ impl Mul<f64> for OpsRate {
 /// assert!(t + Seconds::micros(0.5) == Seconds::micros(4.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Seconds(f64);
 
 impl Seconds {

@@ -164,53 +164,60 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use lognic_testkit::{ensure, Property};
 
-        proptest! {
-            #[test]
-            fn time_is_monotone_in_size(
-                fixed_us in 0.01f64..100.0,
-                per_byte_ns in 0.0f64..10.0,
-                a in 1u64..100_000,
-                b in 1u64..100_000,
-            ) {
+        #[test]
+        fn time_is_monotone_in_size() {
+            Property::new("cost_time_is_monotone_in_size").check(|g| {
                 let m = CostModel::new(
-                    Seconds::micros(fixed_us),
-                    Seconds::nanos(per_byte_ns),
+                    Seconds::micros(g.f64(0.01..100.0)),
+                    Seconds::nanos(g.f64(0.0..10.0)),
                 );
+                let (a, b) = (g.u64(1..100_000), g.u64(1..100_000));
                 let (lo, hi) = (a.min(b), a.max(b));
-                prop_assert!(
-                    m.time(Bytes::new(hi)).as_secs() >= m.time(Bytes::new(lo)).as_secs()
+                ensure!(
+                    m.time(Bytes::new(hi)).as_secs() >= m.time(Bytes::new(lo)).as_secs(),
+                    "time({hi}) < time({lo})"
                 );
-            }
+                Ok(())
+            });
+        }
 
-            #[test]
-            fn engine_rate_bounded_by_byte_cost(
-                fixed_us in 0.01f64..100.0,
-                per_byte_ns in 0.1f64..10.0,
-                size in 64u64..10_000,
-            ) {
+        #[test]
+        fn engine_rate_bounded_by_byte_cost() {
+            Property::new("cost_engine_rate_bounded_by_byte_cost").check(|g| {
                 // Rate can never exceed the pure per-byte ceiling
                 // 8 bits / per_byte.
+                let per_byte_ns = g.f64(0.1..10.0);
                 let m = CostModel::new(
-                    Seconds::micros(fixed_us),
+                    Seconds::micros(g.f64(0.01..100.0)),
                     Seconds::nanos(per_byte_ns),
                 );
+                let size = g.u64(64..10_000);
                 let ceiling = 8.0 / (per_byte_ns * 1e-9);
-                prop_assert!(m.engine_rate(Bytes::new(size)).as_bps() <= ceiling + 1e-3);
-            }
+                ensure!(
+                    m.engine_rate(Bytes::new(size)).as_bps() <= ceiling + 1e-3,
+                    "rate above the per-byte ceiling at {size} B"
+                );
+                Ok(())
+            });
+        }
 
-            #[test]
-            fn peak_linear_in_parallelism(
-                fixed_us in 0.01f64..10.0,
-                size in 64u64..10_000,
-                d in 1u32..64,
-            ) {
-                let m = CostModel::per_request(Seconds::micros(fixed_us));
+        #[test]
+        fn peak_linear_in_parallelism() {
+            Property::new("cost_peak_linear_in_parallelism").check(|g| {
+                let m = CostModel::per_request(Seconds::micros(g.f64(0.01..10.0)));
+                let size = g.u64(64..10_000);
+                let d = g.u32(1..64);
                 let one = m.peak(Bytes::new(size), 1).as_bps();
                 let many = m.peak(Bytes::new(size), d).as_bps();
-                prop_assert!((many - one * d as f64).abs() <= one * d as f64 * 1e-12);
-            }
+                ensure!(
+                    (many - one * d as f64).abs() <= one * d as f64 * 1e-12,
+                    "peak({d}) = {many}, expected {}",
+                    one * d as f64
+                );
+                Ok(())
+            });
         }
     }
 }

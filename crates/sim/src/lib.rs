@@ -46,9 +46,11 @@
 pub mod medium;
 pub mod metrics;
 pub mod packet;
+pub mod replicate;
 pub mod rng;
 pub mod service;
 pub mod sim;
+pub mod stats;
 pub mod time;
 pub mod traffic;
 pub mod wrr;
@@ -57,9 +59,11 @@ pub mod wrr;
 pub mod prelude {
     pub use crate::metrics::{LatencySummary, MediumReport, NodeReport, SimReport};
     pub use crate::packet::Packet;
+    pub use crate::replicate::{ReplicatedReport, Replication};
     pub use crate::rng::SimRng;
     pub use crate::service::{FixedService, RateService, ServiceDist, ServiceModel};
     pub use crate::sim::{SimConfig, Simulation, SimulationBuilder};
+    pub use crate::stats::{MetricSummary, Welford};
     pub use crate::time::SimTime;
     pub use crate::traffic::{ArrivalProcess, Injection, Trace, TraceCursor, TrafficSource};
     pub use crate::wrr::{QueuePlan, QueueSpec};

@@ -1,8 +1,15 @@
 //! Deterministic random numbers for reproducible simulations.
+//!
+//! Since the hermetic-build change, [`SimRng`] is backed by the
+//! in-repo xoshiro256++ generator from `lognic-testkit` instead of
+//! `rand::SmallRng`. The API is unchanged, but the *stream* is not:
+//! any golden value derived from a specific seed's draws moved once
+//! with that swap (all in-repo anchors were re-pinned at the same
+//! time; statistical assertions now use replication confidence
+//! intervals and did not need re-pinning).
 
 use crate::time::SimTime;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lognic_testkit::rng::{splitmix64, Xoshiro256pp};
 
 /// A seeded random source. Every simulation run with the same seed and
 /// configuration produces identical results.
@@ -16,22 +23,31 @@ use rand::{Rng, SeedableRng};
 /// let mut b = SimRng::seed_from(42);
 /// assert_eq!(a.uniform(), b.uniform());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::seed_from(seed),
         }
+    }
+
+    /// Derives the seed of the `index`-th replica of a multi-seed run
+    /// from a base seed. Consecutive indices give decorrelated seeds
+    /// (SplitMix64 of the pair), so replications can use `base, 0..n`
+    /// without worrying about stream overlap.
+    pub fn replica_seed(base: u64, index: u64) -> u64 {
+        let mut sm = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut sm)
     }
 
     /// A uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.next_f64()
     }
 
     /// An exponentially distributed interval with the given mean.
@@ -64,6 +80,27 @@ impl SimRng {
         let draw = self.uniform() * total;
         cum.iter().position(|&c| draw < c).unwrap_or(cum.len() - 1)
     }
+
+    /// Picks an index with probability proportional to `weights`
+    /// (plain, non-cumulative weights; convenience over
+    /// [`pick_cumulative`](Self::pick_cumulative)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f64 = weights.iter().sum();
+        let draw = self.uniform() * total;
+        let mut acc = 0.0;
+        for (i, w) in weights.iter().enumerate() {
+            acc += w;
+            if draw < acc {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +122,17 @@ mod tests {
         let mut b = SimRng::seed_from(2);
         let same = (0..10).filter(|_| a.uniform() == b.uniform()).count();
         assert!(same < 10);
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..64).map(|i| SimRng::replica_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "no collisions across replicas");
+        assert_eq!(SimRng::replica_seed(42, 7), SimRng::replica_seed(42, 7));
+        assert_ne!(SimRng::replica_seed(42, 7), SimRng::replica_seed(43, 7));
     }
 
     #[test]
@@ -127,6 +175,17 @@ mod tests {
     }
 
     #[test]
+    fn pick_weighted_matches_cumulative() {
+        let mut a = SimRng::seed_from(21);
+        let mut b = SimRng::seed_from(21);
+        let weights = [1.0, 3.0, 6.0];
+        let cum = [1.0, 4.0, 10.0];
+        for _ in 0..1000 {
+            assert_eq!(a.pick_weighted(&weights), b.pick_cumulative(&cum));
+        }
+    }
+
+    #[test]
     fn pick_cumulative_single_entry() {
         let mut r = SimRng::seed_from(5);
         for _ in 0..10 {
@@ -139,5 +198,12 @@ mod tests {
     fn pick_cumulative_empty_panics() {
         let mut r = SimRng::seed_from(5);
         let _ = r.pick_cumulative(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn pick_weighted_empty_panics() {
+        let mut r = SimRng::seed_from(5);
+        let _ = r.pick_weighted(&[]);
     }
 }

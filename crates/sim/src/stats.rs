@@ -1,0 +1,275 @@
+//! Streaming statistics for replicated simulation runs.
+//!
+//! A single seeded run is a point estimate; validation against the
+//! analytical model needs the *distribution* across seeds. This module
+//! provides the two pieces the replication engine aggregates with: a
+//! numerically stable [`Welford`] accumulator (mean and sample
+//! variance in one pass, no catastrophic cancellation) and a
+//! Student-t based 95 % confidence interval for the mean
+//! ([`MetricSummary::from_accumulator`]).
+
+/// Welford's online algorithm: streaming mean and sample variance.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_sim::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The sample variance (`n − 1` denominator; zero below two
+    /// observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// The standard error of the mean (zero below two observations).
+    pub fn std_error(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.stddev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Two-sided 97.5 % Student-t quantile (the multiplier of a 95 %
+/// confidence interval) for the given degrees of freedom.
+///
+/// Exact table values through 30 degrees of freedom, then the
+/// conventional 40/60/120 steps, then the normal limit 1.96. Returns
+/// infinity for zero degrees of freedom: one observation carries no
+/// interval.
+pub fn t_quantile_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// The replicated summary of one scalar metric: mean, spread and a
+/// 95 % confidence interval for the mean across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricSummary {
+    /// Number of replicas aggregated.
+    pub n: u64,
+    /// Mean across replicas.
+    pub mean: f64,
+    /// Sample standard deviation across replicas.
+    pub stddev: f64,
+    /// Lower edge of the 95 % confidence interval for the mean.
+    pub ci_lo: f64,
+    /// Upper edge of the 95 % confidence interval for the mean.
+    pub ci_hi: f64,
+}
+
+impl MetricSummary {
+    /// Summarizes a finished accumulator.
+    pub fn from_accumulator(w: &Welford) -> Self {
+        let half = if w.count() < 2 {
+            f64::INFINITY
+        } else {
+            t_quantile_975(w.count() - 1) * w.std_error()
+        };
+        MetricSummary {
+            n: w.count(),
+            mean: w.mean(),
+            stddev: w.stddev(),
+            ci_lo: w.mean() - half,
+            ci_hi: w.mean() + half,
+        }
+    }
+
+    /// Summarizes a slice of observations.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut w = Welford::new();
+        for &x in samples {
+            w.push(x);
+        }
+        MetricSummary::from_accumulator(&w)
+    }
+
+    /// Half-width of the confidence interval.
+    pub fn half_width(&self) -> f64 {
+        (self.ci_hi - self.ci_lo) / 2.0
+    }
+
+    /// True when `x` lies inside the 95 % confidence interval.
+    pub fn contains(&self, x: f64) -> bool {
+        self.ci_lo <= x && x <= self.ci_hi
+    }
+
+    /// The interval's half-width relative to its mean (infinite when
+    /// the mean is zero and the interval is not a point).
+    pub fn relative_half_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width() == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.half_width() / self.mean.abs()
+        }
+    }
+}
+
+impl std::fmt::Display for MetricSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Significant digits, not fixed decimals: latencies live at
+        // 1e-6 and would render as "0.000003 ± 0.000000" otherwise.
+        write!(
+            f,
+            "{:.6e} ± {:.2e} (95% CI [{:.6e}, {:.6e}], n={})",
+            self.mean,
+            self.half_width(),
+            self.ci_lo,
+            self.ci_hi,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.5);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.731).sin() * 10.0).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((t_quantile_975(1) - 12.706).abs() < 1e-9);
+        assert!((t_quantile_975(9) - 2.262).abs() < 1e-9);
+        assert!((t_quantile_975(30) - 2.042).abs() < 1e-9);
+        assert!((t_quantile_975(35) - 2.021).abs() < 1e-9);
+        assert!((t_quantile_975(1000) - 1.960).abs() < 1e-9);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..200 {
+            let t = t_quantile_975(df);
+            assert!(t <= prev, "df {df}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn summary_covers_known_interval() {
+        // n=4, mean 10, sd 2 → half-width 3.182 * 2 / 2 = 3.182.
+        let s = MetricSummary::from_samples(&[8.0, 8.0, 12.0, 12.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+        assert!((s.stddev - (16.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let half = t_quantile_975(3) * s.stddev / 2.0;
+        assert!((s.half_width() - half).abs() < 1e-9);
+        assert!(s.contains(10.0));
+        assert!(s.contains(s.ci_lo) && s.contains(s.ci_hi));
+        assert!(!s.contains(s.ci_hi + 1e-6));
+    }
+
+    #[test]
+    fn single_sample_interval_is_infinite() {
+        let s = MetricSummary::from_samples(&[5.0]);
+        assert!(s.ci_lo.is_infinite() && s.ci_lo < 0.0);
+        assert!(s.ci_hi.is_infinite() && s.ci_hi > 0.0);
+        assert!(s.contains(1e300), "one sample constrains nothing");
+    }
+
+    #[test]
+    fn relative_half_width_cases() {
+        let s = MetricSummary::from_samples(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.relative_half_width(), 0.0);
+        let z = MetricSummary::from_samples(&[0.0, 0.0]);
+        assert_eq!(z.relative_half_width(), 0.0);
+        let mixed = MetricSummary::from_samples(&[-1.0, 1.0]);
+        assert!(mixed.relative_half_width().is_infinite());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = MetricSummary::from_samples(&[1.0, 2.0, 3.0]);
+        let text = format!("{s}");
+        assert!(text.contains("95% CI") && text.contains("n=3"), "{text}");
+    }
+}

@@ -290,24 +290,20 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use lognic_testkit::{ensure, ensure_eq, Gen, Property};
 
-        fn arb_plan() -> impl Strategy<Value = QueuePlan> {
-            prop::collection::vec((1u32..32, 1u32..8), 1..5).prop_map(|qs| {
-                QueuePlan::weighted(
-                    qs.into_iter()
-                        .map(|(capacity, weight)| QueueSpec { capacity, weight })
-                        .collect(),
-                )
-            })
+        fn arb_plan(g: &mut Gen) -> QueuePlan {
+            QueuePlan::weighted(g.vec(1..5, |g| QueueSpec {
+                capacity: g.u32(1..32),
+                weight: g.u32(1..8),
+            }))
         }
 
-        proptest! {
-            #[test]
-            fn conservation_under_random_traffic(
-                plan in arb_plan(),
-                classes in prop::collection::vec(0u32..8, 1..200),
-            ) {
+        #[test]
+        fn conservation_under_random_traffic() {
+            Property::new("wrr_conservation_under_random_traffic").check(|g| {
+                let plan = arb_plan(g);
+                let classes = g.vec(1..200, |g| g.u32(0..8));
                 let mut q = WrrQueues::new(&plan);
                 let mut admitted = 0u64;
                 for (i, class) in classes.iter().enumerate() {
@@ -316,35 +312,39 @@ mod tests {
                     }
                 }
                 let drained = std::iter::from_fn(|| q.dequeue()).count() as u64;
-                prop_assert_eq!(drained, admitted);
-                prop_assert!(q.is_empty());
+                ensure_eq!(drained, admitted);
+                ensure!(q.is_empty());
                 // Per-queue drops account for the rest.
-                let dropped: u64 =
-                    (0..q.queue_count()).map(|i| q.queue_drops(i)).sum();
-                prop_assert_eq!(admitted + dropped, classes.len() as u64);
-            }
+                let dropped: u64 = (0..q.queue_count()).map(|i| q.queue_drops(i)).sum();
+                ensure_eq!(admitted + dropped, classes.len() as u64);
+                Ok(())
+            });
+        }
 
-            #[test]
-            fn no_queue_exceeds_its_capacity(
-                plan in arb_plan(),
-                classes in prop::collection::vec(0u32..8, 1..300),
-            ) {
+        #[test]
+        fn no_queue_exceeds_its_capacity() {
+            Property::new("wrr_no_queue_exceeds_its_capacity").check(|g| {
+                let plan = arb_plan(g);
+                let classes = g.vec(1..300, |g| g.u32(0..8));
                 let mut q = WrrQueues::new(&plan);
                 for (i, class) in classes.iter().enumerate() {
                     let _ = q.enqueue(pkt(i as u64, *class));
                     for idx in 0..q.queue_count() {
-                        prop_assert!(
-                            q.queue_len(idx) <= plan.queues()[idx].capacity as usize
+                        ensure!(
+                            q.queue_len(idx) <= plan.queues()[idx].capacity as usize,
+                            "queue {idx} over capacity"
                         );
                     }
                 }
-            }
+                Ok(())
+            });
+        }
 
-            #[test]
-            fn fifo_within_a_class(
-                plan in arb_plan(),
-                count in 1usize..50,
-            ) {
+        #[test]
+        fn fifo_within_a_class() {
+            Property::new("wrr_fifo_within_a_class").check(|g| {
+                let plan = arb_plan(g);
+                let count = g.usize(1..50);
                 // All packets in one class drain in insertion order.
                 let mut q = WrrQueues::new(&plan);
                 let mut admitted_ids = Vec::new();
@@ -353,10 +353,10 @@ mod tests {
                         admitted_ids.push(i as u64);
                     }
                 }
-                let drained: Vec<u64> =
-                    std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
-                prop_assert_eq!(drained, admitted_ids);
-            }
+                let drained: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+                ensure_eq!(drained, admitted_ids);
+                Ok(())
+            });
         }
     }
 

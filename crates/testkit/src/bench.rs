@@ -1,0 +1,152 @@
+//! A plain-`std::time` measurement harness for `harness = false`
+//! benchmarks.
+//!
+//! Mirrors the small slice of the criterion API the workspace used —
+//! [`Bench::bench_function`] with a closure receiving a [`Bencher`]
+//! whose [`iter`](Bencher::iter) wraps the measured expression — so
+//! benches stay one-line ports. Measurement is deliberately simple:
+//! calibrate an iteration count to a target sample duration, warm up,
+//! take `sample_size` wall-clock samples, and report min / median /
+//! mean nanoseconds per iteration. No statistics framework, no plots,
+//! no registry downloads.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times one batch of iterations for [`Bench::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations and
+    /// records the elapsed wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness: configuration plus a results printer.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    sample_size: usize,
+    target_sample: Duration,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench {
+            sample_size: 20,
+            target_sample: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Bench {
+    /// A harness with the default schedule (20 samples of ~20 ms).
+    pub fn new() -> Self {
+        Bench::default()
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target wall-clock duration of one sample (the harness
+    /// picks an iteration count to approximate it).
+    pub fn target_sample(mut self, d: Duration) -> Self {
+        self.target_sample = d;
+        self
+    }
+
+    /// Measures `run` and prints one summary line.
+    ///
+    /// `run` receives a [`Bencher`] and must call [`Bencher::iter`]
+    /// exactly once around the expression under test.
+    pub fn bench_function(&mut self, name: &str, mut run: impl FnMut(&mut Bencher)) {
+        // Calibration: one iteration, to size the batches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        run(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        // Warmup batch (not recorded).
+        b.iters = iters;
+        run(&mut b);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            run(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        println!(
+            "{name:<40} min {:>12} median {:>12} mean {:>12} ({iters} iters x {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.sample_size,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut counter = 0u64;
+        let mut b = Bench::new()
+            .sample_size(3)
+            .target_sample(Duration::from_micros(50));
+        b.bench_function("noop", |bencher| {
+            bencher.iter(|| {
+                counter = counter.wrapping_add(1);
+                counter
+            })
+        });
+        assert!(counter > 0, "the body actually ran");
+    }
+
+    #[test]
+    fn sample_size_floor_is_one() {
+        let b = Bench::new().sample_size(0);
+        assert_eq!(b.sample_size, 1);
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2_000_000_000.0).ends_with('s'));
+    }
+}

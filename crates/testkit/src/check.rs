@@ -1,0 +1,227 @@
+//! A minimal property-check harness.
+//!
+//! A [`Property`] runs a body over many deterministically generated
+//! cases. Each case has its own seed, derived from the property's base
+//! seed via SplitMix64, and a failing case panics with that seed so it
+//! can be pinned as a named regression:
+//!
+//! ```
+//! use lognic_testkit::{ensure, Property};
+//!
+//! Property::new("addition_commutes")
+//!     .cases(64)
+//!     .check(|g| {
+//!         let (a, b) = (g.u64(0..1000), g.u64(0..1000));
+//!         ensure!(a + b == b + a, "{a} + {b} diverged");
+//!         Ok(())
+//!     });
+//! ```
+//!
+//! There is no shrinking: cases are cheap to replay by seed, and the
+//! regression mechanism ([`Property::regression`]) keeps historically
+//! interesting cases alive in source, visible to reviewers — the role
+//! proptest's opaque `*.proptest-regressions` corpus files used to
+//! play.
+
+use crate::gen::Gen;
+use crate::rng::splitmix64;
+
+/// The outcome a property body reports for one case.
+pub type CaseResult = Result<(), String>;
+
+/// A named property with a deterministic case schedule.
+#[derive(Debug, Clone)]
+pub struct Property {
+    name: String,
+    cases: u32,
+    seed: u64,
+    regressions: Vec<(String, u64)>,
+}
+
+/// FNV-1a, used to give each property its own default seed stream so
+/// two properties with the same case count don't see identical inputs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+impl Property {
+    /// Creates a property. The default schedule is 128 cases from a
+    /// seed derived from the property name.
+    pub fn new(name: &str) -> Self {
+        Property {
+            name: name.to_owned(),
+            cases: 128,
+            seed: fnv1a(name.as_bytes()),
+            regressions: Vec::new(),
+        }
+    }
+
+    /// Sets the number of generated cases.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed (the default derives from the name).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins a named regression case: its seed is replayed before any
+    /// generated cases, every run. Use the seed a failure report
+    /// printed.
+    pub fn regression(mut self, label: &str, seed: u64) -> Self {
+        self.regressions.push((label.to_owned(), seed));
+        self
+    }
+
+    /// Runs the regressions, then the generated cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case, reporting the case seed (for
+    /// generated cases) or label (for regressions) and the body's
+    /// message.
+    pub fn check(self, body: impl Fn(&mut Gen) -> CaseResult) {
+        for (label, seed) in &self.regressions {
+            let mut g = Gen::new(*seed);
+            if let Err(msg) = body(&mut g) {
+                panic!(
+                    "property '{}' failed on pinned regression '{label}' (seed {seed}): {msg}",
+                    self.name
+                );
+            }
+        }
+        let mut sm = self.seed;
+        for i in 0..self.cases {
+            let case_seed = splitmix64(&mut sm);
+            let mut g = Gen::new(case_seed);
+            if let Err(msg) = body(&mut g) {
+                panic!(
+                    "property '{}' failed on case #{i} (seed {case_seed}): {msg}\n\
+                     pin it with .regression(\"<label>\", {case_seed})",
+                    self.name
+                );
+            }
+        }
+    }
+}
+
+/// Fails the surrounding property case when the condition is false.
+///
+/// Expands to an early `return Err(format!(...))`; usable only inside
+/// a closure returning [`CaseResult`].
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("condition failed: {}", stringify!($cond)));
+        }
+    };
+}
+
+/// Fails the surrounding property case when the two values differ.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "{} != {} ({left:?} vs {right:?})",
+                stringify!($a),
+                stringify!($b)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        Property::new("counts").cases(37).check(|_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 37);
+    }
+
+    #[test]
+    fn regressions_run_first() {
+        let order = std::cell::RefCell::new(Vec::new());
+        Property::new("order")
+            .cases(2)
+            .regression("pinned", 123)
+            .check(|g| {
+                order.borrow_mut().push(g.u64(0..u64::MAX));
+                Ok(())
+            });
+        let seen = order.borrow();
+        assert_eq!(seen.len(), 3);
+        // The first case replays seed 123 exactly.
+        let mut g = Gen::new(123);
+        assert_eq!(seen[0], g.u64(0..u64::MAX));
+    }
+
+    #[test]
+    fn case_schedule_is_deterministic() {
+        let collect = || {
+            let v = std::cell::RefCell::new(Vec::new());
+            Property::new("det").cases(8).check(|g| {
+                v.borrow_mut().push(g.u64(0..1_000_000));
+                Ok(())
+            });
+            v.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'fails' failed on case #0")]
+    fn failure_reports_case_and_seed() {
+        Property::new("fails")
+            .cases(4)
+            .check(|_| Err("nope".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned regression 'bad'")]
+    fn failing_regression_reports_label() {
+        Property::new("reg")
+            .regression("bad", 7)
+            .check(|_| Err("broken".into()));
+    }
+
+    #[test]
+    fn ensure_macros_produce_errors() {
+        let body = |g: &mut Gen| -> CaseResult {
+            let x = g.u64(0..10);
+            ensure!(x < 10, "x = {x}");
+            ensure_eq!(x, x);
+            ensure!(x < 10);
+            Ok(())
+        };
+        assert_eq!(body(&mut Gen::new(1)), Ok(()));
+        let fails = |_: &mut Gen| -> CaseResult {
+            ensure!(false, "always");
+            Ok(())
+        };
+        assert_eq!(fails(&mut Gen::new(1)), Err("always".into()));
+    }
+}

@@ -1,0 +1,149 @@
+//! Seeded case generation for property checks.
+//!
+//! A [`Gen`] is the harness-facing face of the RNG: each property case
+//! receives a fresh `Gen` derived from the case seed and draws its
+//! inputs from ranges, weights and collections. Every draw is
+//! deterministic in the seed, so a failing case is replayed exactly by
+//! its reported seed — no shrink corpus files needed.
+
+use crate::rng::Xoshiro256pp;
+use std::ops::Range;
+
+/// A deterministic input generator for one property case.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_testkit::gen::Gen;
+///
+/// let mut g = Gen::new(42);
+/// let x = g.f64(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// let v = g.vec(1..5, |g| g.u32(0..10));
+/// assert!(!v.is_empty() && v.len() < 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: Xoshiro256pp,
+}
+
+impl Gen {
+    /// Creates a generator for the given case seed.
+    pub fn new(seed: u64) -> Self {
+        Gen {
+            rng: Xoshiro256pp::seed_from(seed),
+        }
+    }
+
+    /// A uniform `u64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.next_below(range.end - range.start)
+    }
+
+    /// A uniform `u32` in `range` (half-open).
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.u64(range.start as u64..range.end as u64) as u32
+    }
+
+    /// A uniform `usize` in `range` (half-open).
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `f64` in `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unordered.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.next_f64() * (range.end - range.start)
+    }
+
+    /// A coin flip with success probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.usize(0..items.len())]
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut element: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| element(self)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = Gen::new(1);
+        for _ in 0..1000 {
+            assert!((5..10).contains(&g.u64(5..10)));
+            assert!((2..4).contains(&g.u32(2..4)));
+            let f = g.f64(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let draw = |seed| {
+            let mut g = Gen::new(seed);
+            (g.u64(0..1000), g.f64(0.0..1.0), g.usize(0..50))
+        };
+        assert_eq!(draw(77), draw(77));
+        assert_ne!(draw(77), draw(78));
+    }
+
+    #[test]
+    fn pick_and_vec() {
+        let mut g = Gen::new(3);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(g.pick(&items)));
+        }
+        let v = g.vec(2..6, |g| g.u32(0..3));
+        assert!(v.len() >= 2 && v.len() < 6);
+        assert!(v.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn bool_bias_converges() {
+        let mut g = Gen::new(4);
+        let n = 20_000;
+        let heads = (0..n).filter(|_| g.bool(0.25)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Gen::new(1).u64(5..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn empty_pick_panics() {
+        let empty: [u32; 0] = [];
+        let _ = *Gen::new(1).pick(&empty);
+    }
+}

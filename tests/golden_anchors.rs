@@ -1,0 +1,75 @@
+//! Golden-anchor regression tests for the EXPERIMENTS.md scorecard.
+//!
+//! Each test pins one *paper-quoted number* the reproduction recovers
+//! analytically — no simulation, no sweeps, sub-millisecond runtime —
+//! so a refactor that silently shifts a headline figure fails fast and
+//! points at the exact anchor. The expensive end-to-end validations of
+//! the same figures live in `tests/case_studies.rs`; this file is the
+//! cheap tripwire.
+
+use lognic::devices::liquidio::{Accelerator, LiquidIo};
+use lognic::model::units::{Bandwidth, Bytes};
+use lognic::optimizer::suggest;
+use lognic::workloads::{inline_accel, panic_scenarios};
+
+/// Fig. 5: at 16 KB granularity the CRC / 3DES / MD5 / HFA offload
+/// engines collapse to 13.6 / 17.3 / 21.2 / 25.9 % of their peak
+/// operation rates (paper §4.1; EXPERIMENTS.md "Fig. 5" row).
+#[test]
+fn fig05_collapse_fractions_at_16kib() {
+    let anchors = [
+        (Accelerator::Crc, 0.136),
+        (Accelerator::Des3, 0.173),
+        (Accelerator::Md5, 0.212),
+        (Accelerator::Hfa, 0.259),
+    ];
+    for (accel, expect) in anchors {
+        let got = inline_accel::roofline_ops(accel, Bytes::kib(16))
+            / LiquidIo::accelerator(accel).peak_ops.as_per_sec();
+        assert!(
+            (got - expect).abs() < 0.005,
+            "{}: fraction {got:.4} vs paper {expect}",
+            accel.name()
+        );
+    }
+}
+
+/// Fig. 9: saturation core counts for MD5 / KASUMI / HFA inline
+/// offload are 9 / 8 / 11 (paper §4.1).
+#[test]
+fn fig09_saturation_core_counts() {
+    let mtu = Bytes::new(1500);
+    assert_eq!(suggest::suggest_inline_cores(Accelerator::Md5, mtu), 9);
+    assert_eq!(suggest::suggest_inline_cores(Accelerator::Kasumi, mtu), 8);
+    assert_eq!(suggest::suggest_inline_cores(Accelerator::Hfa, mtu), 11);
+}
+
+/// Fig. 15: the credit suggestions for the four PANIC packet-size
+/// profiles at 100 Gb/s line rate are 5 / 4 / 4 / 4 (paper §4.5).
+#[test]
+fn fig15_credit_suggestions() {
+    let line = Bandwidth::gbps(100.0);
+    let got: Vec<u32> = panic_scenarios::CREDIT_PROFILES
+        .iter()
+        .map(|sizes| suggest::suggest_credits(sizes, line))
+        .collect();
+    assert_eq!(got, vec![5, 4, 4, 4], "paper: 5/4/4/4");
+}
+
+/// Fig. 17: the suggested hybrid steering split at 512 B / 80 Gb/s
+/// sits at x ≈ 0.56 (paper §4.5).
+#[test]
+fn fig17_steering_split() {
+    let x = suggest::suggest_steering_split(Bytes::new(512), Bandwidth::gbps(80.0));
+    assert!((x - 0.56).abs() < 0.03, "x = {x}");
+}
+
+/// Fig. 18/19: the optimal IPv4-stage parallelism degree is 6 at a
+/// 50/50 hybrid split and 4 at an 80/20 split (paper §4.5).
+#[test]
+fn fig18_19_optimal_degrees() {
+    let size = Bytes::new(1024);
+    let line = Bandwidth::gbps(80.0);
+    assert_eq!(suggest::suggest_ip4_degree(0.5, size, line), 6);
+    assert_eq!(suggest::suggest_ip4_degree(0.8, size, line), 4);
+}

@@ -1,244 +1,332 @@
-//! Property-based tests of the model's invariants.
+//! Property-based tests of the model's invariants, on the in-repo
+//! `lognic-testkit` harness (hermetic replacement for `proptest`).
+//!
+//! Historically interesting shrunk cases from the proptest era are
+//! carried over as explicit, named functions (`regression_*`) instead
+//! of an opaque `*.proptest-regressions` corpus file, so they are
+//! visible in review and always run.
 
 use lognic::model::latency::estimate_latency;
 use lognic::model::prelude::*;
 use lognic::model::queueing::{Mm1n, MmcN};
-use proptest::prelude::*;
+use lognic_testkit::{ensure, CaseResult, Gen, Property};
 
-fn arb_chain() -> impl Strategy<Value = ExecutionGraph> {
+fn arb_chain(g: &mut Gen) -> ExecutionGraph {
     // 1–4 stages with peaks in [1, 100] Gbps, parallelism 1–16,
     // queues 1–256.
-    prop::collection::vec((1.0f64..100.0, 1u32..=16, 1u32..=256), 1..=4).prop_map(|stages| {
-        let named: Vec<(String, IpParams)> = stages
-            .into_iter()
-            .enumerate()
-            .map(|(i, (peak, d, q))| {
-                (
-                    format!("s{i}"),
-                    IpParams::new(Bandwidth::gbps(peak))
-                        .with_parallelism(d)
-                        .with_queue_capacity(q),
-                )
-            })
-            .collect();
-        let refs: Vec<(&str, IpParams)> = named.iter().map(|(n, p)| (n.as_str(), *p)).collect();
-        ExecutionGraph::chain("prop", &refs).expect("chains are always valid")
-    })
+    let named: Vec<(String, IpParams)> = g
+        .vec(1..5, |g| (g.f64(1.0..100.0), g.u32(1..17), g.u32(1..257)))
+        .into_iter()
+        .enumerate()
+        .map(|(i, (peak, d, q))| {
+            (
+                format!("s{i}"),
+                IpParams::new(Bandwidth::gbps(peak))
+                    .with_parallelism(d)
+                    .with_queue_capacity(q),
+            )
+        })
+        .collect();
+    let refs: Vec<(&str, IpParams)> = named.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+    ExecutionGraph::chain("prop", &refs).expect("chains are always valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn throughput_never_exceeds_offered_or_any_bound() {
+    Property::new("throughput_never_exceeds_offered_or_any_bound")
+        .cases(128)
+        .check(|g| {
+            let graph = arb_chain(g);
+            let offered = g.f64(0.1..200.0);
+            let size = g.u64(64..9000);
+            let hw = HardwareModel::default();
+            let t = TrafficProfile::fixed(Bandwidth::gbps(offered), Bytes::new(size));
+            let est = estimate_throughput(&graph, &hw, &t).unwrap();
+            ensure!(est.attainable().as_bps() <= t.ingress_bandwidth().as_bps() + 1e-6);
+            for bound in est.bounds() {
+                ensure!(est.attainable().as_bps() <= bound.limit.as_bps() + 1e-6);
+            }
+            // The bottleneck is the first (smallest) bound.
+            ensure!((est.bottleneck().limit.as_bps() - est.attainable().as_bps()).abs() < 1e-6);
+            Ok(())
+        });
+}
 
-    #[test]
-    fn throughput_never_exceeds_offered_or_any_bound(
-        graph in arb_chain(),
-        offered in 0.1f64..200.0,
-        size in 64u64..9000,
-    ) {
-        let hw = HardwareModel::default();
-        let t = TrafficProfile::fixed(Bandwidth::gbps(offered), Bytes::new(size));
-        let est = estimate_throughput(&graph, &hw, &t).unwrap();
-        prop_assert!(est.attainable().as_bps() <= t.ingress_bandwidth().as_bps() + 1e-6);
-        for bound in est.bounds() {
-            prop_assert!(est.attainable().as_bps() <= bound.limit.as_bps() + 1e-6);
-        }
-        // The bottleneck is the first (smallest) bound.
-        prop_assert!((est.bottleneck().limit.as_bps() - est.attainable().as_bps()).abs() < 1e-6);
-    }
+#[test]
+fn delivered_between_zero_and_attainable() {
+    Property::new("delivered_between_zero_and_attainable")
+        .cases(128)
+        .check(|g| {
+            let graph = arb_chain(g);
+            let offered = g.f64(0.1..200.0);
+            let hw = HardwareModel::default();
+            let t = TrafficProfile::fixed(Bandwidth::gbps(offered), Bytes::new(1500));
+            let est = Estimator::new(&graph, &hw, &t).estimate().unwrap();
+            ensure!(est.delivered.as_bps() >= 0.0);
+            ensure!(est.delivered.as_bps() <= est.throughput.attainable().as_bps() + 1e-6);
+            Ok(())
+        });
+}
 
-    #[test]
-    fn delivered_between_zero_and_attainable(
-        graph in arb_chain(),
-        offered in 0.1f64..200.0,
-    ) {
-        let hw = HardwareModel::default();
-        let t = TrafficProfile::fixed(Bandwidth::gbps(offered), Bytes::new(1500));
-        let est = Estimator::new(&graph, &hw, &t).estimate().unwrap();
-        prop_assert!(est.delivered.as_bps() >= 0.0);
-        prop_assert!(est.delivered.as_bps() <= est.throughput.attainable().as_bps() + 1e-6);
-    }
+#[test]
+fn latency_at_least_sum_of_services_and_grows_with_load() {
+    Property::new("latency_at_least_sum_of_services_and_grows_with_load")
+        .cases(128)
+        .check(|g| {
+            let graph = arb_chain(g);
+            let size = g.u64(64..9000);
+            let hw = HardwareModel::default();
+            let cap = {
+                let probe = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(size));
+                estimate_throughput(&graph, &hw, &probe)
+                    .unwrap()
+                    .saturation_bound()
+                    .map(|b| b.limit)
+                    .unwrap_or(Bandwidth::gbps(1000.0))
+            };
+            let low = TrafficProfile::fixed(cap * 0.2, Bytes::new(size));
+            let high = TrafficProfile::fixed(cap * 0.9, Bytes::new(size));
+            let l_low = estimate_latency(&graph, &hw, &low).unwrap();
+            let l_high = estimate_latency(&graph, &hw, &high).unwrap();
+            // Latency grows with load (monotone queueing).
+            ensure!(l_high.mean().as_secs() >= l_low.mean().as_secs() - 1e-15);
+            // Latency is at least the pure execution time.
+            let service_floor: f64 = l_low.per_node().iter().map(|n| n.service.as_secs()).sum();
+            ensure!(l_low.mean().as_secs() >= service_floor - 1e-15);
+            Ok(())
+        });
+}
 
-    #[test]
-    fn latency_at_least_sum_of_services_and_grows_with_load(
-        graph in arb_chain(),
-        size in 64u64..9000,
-    ) {
-        let hw = HardwareModel::default();
-        let cap = {
-            let probe = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(size));
-            estimate_throughput(&graph, &hw, &probe)
-                .unwrap()
-                .saturation_bound()
-                .map(|b| b.limit)
-                .unwrap_or(Bandwidth::gbps(1000.0))
-        };
-        let low = TrafficProfile::fixed(cap * 0.2, Bytes::new(size));
-        let high = TrafficProfile::fixed(cap * 0.9, Bytes::new(size));
-        let l_low = estimate_latency(&graph, &hw, &low).unwrap();
-        let l_high = estimate_latency(&graph, &hw, &high).unwrap();
-        // Latency grows with load (monotone queueing).
-        prop_assert!(l_high.mean().as_secs() >= l_low.mean().as_secs() - 1e-15);
-        // Latency is at least the pure execution time.
-        let service_floor: f64 =
-            l_low.per_node().iter().map(|n| n.service.as_secs()).sum();
-        prop_assert!(l_low.mean().as_secs() >= service_floor - 1e-15);
-    }
+fn check_mm1n_invariants(rho: f64, n: u32) -> CaseResult {
+    let q = Mm1n::new(rho, n).unwrap();
+    let block = q.blocking_probability();
+    ensure!((0.0..=1.0).contains(&block), "blocking {block}");
+    ensure!(q.mean_occupancy() >= -1e-12);
+    ensure!(q.mean_occupancy() <= n as f64 + 1e-9);
+    ensure!(q.queueing_factor() >= 0.0);
+    ensure!(q.queueing_factor() <= n as f64 - 1.0 + 1e-9);
+    // Occupancy distribution sums to 1.
+    let total: f64 = (0..=n).map(|k| q.occupancy_probability(k)).sum();
+    ensure!((total - 1.0).abs() < 1e-6, "occupancy sums to {total}");
+    Ok(())
+}
 
-    #[test]
-    fn mm1n_invariants(rho in 0.0f64..5.0, n in 1u32..512) {
-        let q = Mm1n::new(rho, n).unwrap();
-        let block = q.blocking_probability();
-        prop_assert!((0.0..=1.0).contains(&block));
-        prop_assert!(q.mean_occupancy() >= -1e-12);
-        prop_assert!(q.mean_occupancy() <= n as f64 + 1e-9);
-        prop_assert!(q.queueing_factor() >= 0.0);
-        prop_assert!(q.queueing_factor() <= n as f64 - 1.0 + 1e-9);
-        // Occupancy distribution sums to 1.
-        let total: f64 = (0..=n).map(|k| q.occupancy_probability(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-    }
+/// Shrunk counterexample the proptest era recorded in
+/// `tests/properties.proptest-regressions` (an overloaded short
+/// queue): keep it pinned by value, not by corpus file.
+#[test]
+fn regression_mm1n_overloaded_short_queue() {
+    check_mm1n_invariants(1.2763746574866055, 8).unwrap();
+}
 
-    #[test]
-    fn mmcn_matches_mm1n_at_one_engine(rho in 0.0f64..3.0, n in 1u32..128) {
-        let single = Mm1n::new(rho, n).unwrap();
-        let multi = MmcN::new(rho, 1, n).unwrap();
-        prop_assert!(
-            (single.blocking_probability() - multi.blocking_probability()).abs() < 1e-8
-        );
-        let s = lognic::model::units::Seconds::micros(10.0);
-        prop_assert!(
-            (single.queueing_delay(s).as_secs() - multi.queueing_delay(s).as_secs()).abs()
-                < 1e-10
-        );
-    }
+/// Second pinned shrink from the proptest corpus: near-saturation at a
+/// 16-entry queue.
+#[test]
+fn regression_mm1n_near_saturation() {
+    check_mm1n_invariants(0.9150531798676376, 16).unwrap();
+}
 
-    #[test]
-    fn mmcn_waiting_delay_decreases_with_engines(
-        rho in 0.05f64..0.98,
-        n in 16u32..128,
-    ) {
-        // Pooling reduces *waiting delay* at the same utilization.
-        // (Blocking probability is NOT monotone in the engine count at
-        // fixed ρ and capacity — the arrival rate scales with c, and
-        // proptest found counterexamples even below saturation; only
-        // the delay claim is true in general.)
+#[test]
+fn mm1n_invariants() {
+    Property::new("mm1n_invariants").cases(128).check(|g| {
+        let (rho, n) = (g.f64(0.0..5.0), g.u32(1..512));
+        check_mm1n_invariants(rho, n).map_err(|e| format!("rho={rho} n={n}: {e}"))
+    });
+}
+
+fn check_mmcn_matches_mm1n(rho: f64, n: u32) -> CaseResult {
+    let single = Mm1n::new(rho, n).unwrap();
+    let multi = MmcN::new(rho, 1, n).unwrap();
+    ensure!((single.blocking_probability() - multi.blocking_probability()).abs() < 1e-8);
+    let s = lognic::model::units::Seconds::micros(10.0);
+    ensure!((single.queueing_delay(s).as_secs() - multi.queueing_delay(s).as_secs()).abs() < 1e-10);
+    Ok(())
+}
+
+/// The two historical shrinks exercised the single-engine M/M/c/N
+/// equivalence too; pinned here by value.
+#[test]
+fn regression_mmcn_matches_mm1n_at_pinned_shrinks() {
+    check_mmcn_matches_mm1n(1.2763746574866055, 8).unwrap();
+    check_mmcn_matches_mm1n(0.9150531798676376, 16).unwrap();
+}
+
+#[test]
+fn mmcn_matches_mm1n_at_one_engine() {
+    Property::new("mmcn_matches_mm1n_at_one_engine")
+        .cases(128)
+        .check(|g| {
+            let (rho, n) = (g.f64(0.0..3.0), g.u32(1..128));
+            check_mmcn_matches_mm1n(rho, n).map_err(|e| format!("rho={rho} n={n}: {e}"))
+        });
+}
+
+#[test]
+fn mmcn_waiting_delay_decreases_with_engines() {
+    // Pooling reduces *waiting delay* at the same utilization.
+    // (Blocking probability is NOT monotone in the engine count at
+    // fixed ρ and capacity — the arrival rate scales with c, and the
+    // proptest era found counterexamples even below saturation; only
+    // the delay claim is true in general. The near-saturation shrink
+    // rho=0.9150531798676376, n=16 stays pinned.)
+    let body = |rho: f64, n: u32| -> CaseResult {
         let s = lognic::model::units::Seconds::micros(10.0);
         let one = MmcN::new(rho, 1, n).unwrap().queueing_delay(s).as_secs();
         let four = MmcN::new(rho, 4, n).unwrap().queueing_delay(s).as_secs();
-        prop_assert!(four <= one + 1e-12, "rho={rho} n={n}: {four} > {one}");
+        ensure!(four <= one + 1e-12, "rho={rho} n={n}: {four} > {one}");
         // Basic sanity across engine counts.
         for c in [1u32, 2, 8, 32] {
             let q = MmcN::new(rho, c, n).unwrap();
-            prop_assert!((0.0..=1.0).contains(&q.blocking_probability()));
-            prop_assert!(q.mean_occupancy() <= q.capacity() as f64 + 1e-9);
+            ensure!((0.0..=1.0).contains(&q.blocking_probability()));
+            ensure!(q.mean_occupancy() <= q.capacity() as f64 + 1e-9);
         }
-    }
+        Ok(())
+    };
+    body(0.9150531798676376, 16).unwrap();
+    Property::new("mmcn_waiting_delay_decreases_with_engines")
+        .cases(128)
+        .check(|g| body(g.f64(0.05..0.98), g.u32(16..128)));
+}
 
-    #[test]
-    fn path_weights_form_distribution(
-        d1 in 0.01f64..0.99,
-        peak in 1.0f64..50.0,
-    ) {
-        let mut b = ExecutionGraph::builder("w");
-        let ing = b.ingress("in");
-        let x = b.ip("x", IpParams::new(Bandwidth::gbps(peak)));
-        let y = b.ip("y", IpParams::new(Bandwidth::gbps(peak)));
-        let eg = b.egress("out");
-        b.edge(ing, x, EdgeParams::new(d1).unwrap());
-        b.edge(ing, y, EdgeParams::new(1.0 - d1).unwrap());
-        b.edge(x, eg, EdgeParams::new(d1).unwrap());
-        b.edge(y, eg, EdgeParams::new(1.0 - d1).unwrap());
-        let g = b.build().unwrap();
-        let paths = g.paths().unwrap();
-        let total: f64 = paths.iter().map(|p| p.weight).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!(paths.iter().all(|p| p.weight > 0.0));
-    }
+#[test]
+fn path_weights_form_distribution() {
+    Property::new("path_weights_form_distribution")
+        .cases(128)
+        .check(|g| {
+            let d1 = g.f64(0.01..0.99);
+            let peak = g.f64(1.0..50.0);
+            let mut b = ExecutionGraph::builder("w");
+            let ing = b.ingress("in");
+            let x = b.ip("x", IpParams::new(Bandwidth::gbps(peak)));
+            let y = b.ip("y", IpParams::new(Bandwidth::gbps(peak)));
+            let eg = b.egress("out");
+            b.edge(ing, x, EdgeParams::new(d1).unwrap());
+            b.edge(ing, y, EdgeParams::new(1.0 - d1).unwrap());
+            b.edge(x, eg, EdgeParams::new(d1).unwrap());
+            b.edge(y, eg, EdgeParams::new(1.0 - d1).unwrap());
+            let graph = b.build().unwrap();
+            let paths = graph.paths().unwrap();
+            let total: f64 = paths.iter().map(|p| p.weight).sum();
+            ensure!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+            ensure!(paths.iter().all(|p| p.weight > 0.0));
+            Ok(())
+        });
+}
 
-    #[test]
-    fn packet_size_dist_mean_within_range(
-        sizes in prop::collection::vec((64u64..9000, 0.01f64..10.0), 1..6)
-    ) {
-        let dist = PacketSizeDist::mix(
-            sizes.iter().map(|(s, w)| (Bytes::new(*s), *w)),
-        ).unwrap();
-        let mean = dist.mean_size().get();
-        let lo = sizes.iter().map(|(s, _)| *s).min().unwrap();
-        let hi = sizes.iter().map(|(s, _)| *s).max().unwrap();
-        prop_assert!(mean >= lo && mean <= hi);
-        let total: f64 = dist.entries().iter().map(|(_, w)| w).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-    }
+#[test]
+fn packet_size_dist_mean_within_range() {
+    Property::new("packet_size_dist_mean_within_range")
+        .cases(128)
+        .check(|g| {
+            let sizes = g.vec(1..6, |g| (g.u64(64..9000), g.f64(0.01..10.0)));
+            let dist =
+                PacketSizeDist::mix(sizes.iter().map(|(s, w)| (Bytes::new(*s), *w))).unwrap();
+            let mean = dist.mean_size().get();
+            let lo = sizes.iter().map(|(s, _)| *s).min().unwrap();
+            let hi = sizes.iter().map(|(s, _)| *s).max().unwrap();
+            ensure!(mean >= lo && mean <= hi, "mean {mean} outside [{lo}, {hi}]");
+            let total: f64 = dist.entries().iter().map(|(_, w)| w).sum();
+            ensure!((total - 1.0).abs() < 1e-9);
+            Ok(())
+        });
+}
 
-    #[test]
-    fn acceleration_knob_never_hurts(
-        graph in arb_chain(),
-        accel in 1.0f64..8.0,
-    ) {
-        // Speeding up one kernel (the LogCA-style A knob) cannot lower
-        // the attainable throughput.
-        let hw = HardwareModel::default();
-        let t = TrafficProfile::fixed(Bandwidth::gbps(500.0), Bytes::new(1500));
-        let base = estimate_throughput(&graph, &hw, &t).unwrap().attainable();
-        let mut accelerated = graph.clone();
-        let node = accelerated.node_by_name("s0").unwrap();
-        let params = *accelerated.node(node).params().unwrap();
-        accelerated.set_ip_params(node, params.with_acceleration(accel)).unwrap();
-        let after = estimate_throughput(&accelerated, &hw, &t).unwrap().attainable();
-        prop_assert!(after.as_bps() >= base.as_bps() - 1e-6);
-    }
+#[test]
+fn acceleration_knob_never_hurts() {
+    Property::new("acceleration_knob_never_hurts")
+        .cases(128)
+        .check(|g| {
+            // Speeding up one kernel (the LogCA-style A knob) cannot
+            // lower the attainable throughput.
+            let graph = arb_chain(g);
+            let accel = g.f64(1.0..8.0);
+            let hw = HardwareModel::default();
+            let t = TrafficProfile::fixed(Bandwidth::gbps(500.0), Bytes::new(1500));
+            let base = estimate_throughput(&graph, &hw, &t).unwrap().attainable();
+            let mut accelerated = graph.clone();
+            let node = accelerated.node_by_name("s0").unwrap();
+            let params = *accelerated.node(node).params().unwrap();
+            accelerated
+                .set_ip_params(node, params.with_acceleration(accel))
+                .unwrap();
+            let after = estimate_throughput(&accelerated, &hw, &t)
+                .unwrap()
+                .attainable();
+            ensure!(after.as_bps() >= base.as_bps() - 1e-6);
+            Ok(())
+        });
 }
 
 mod sim_properties {
     use super::*;
     use lognic::sim::prelude::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn conservation_and_sanity() {
+        Property::new("sim_conservation_and_sanity")
+            .cases(24)
+            .check(|g| {
+                let peak = g.f64(2.0..30.0);
+                let load = g.f64(0.2..1.5);
+                let queue = g.u32(2..64);
+                let seed = g.u64(0..1000);
+                let graph = ExecutionGraph::chain(
+                    "c",
+                    &[(
+                        "ip",
+                        IpParams::new(Bandwidth::gbps(peak)).with_queue_capacity(queue),
+                    )],
+                )
+                .unwrap();
+                let hw = HardwareModel::default();
+                let t = TrafficProfile::fixed(Bandwidth::gbps(peak * load), Bytes::new(1000));
+                let r = Simulation::builder(&graph, &hw, &t)
+                    .seed(seed)
+                    .duration(Seconds::millis(10.0))
+                    .warmup(Seconds::ZERO)
+                    .run();
+                // Conservation: with zero warmup and a full drain, every
+                // injected packet completed or dropped.
+                ensure!(
+                    r.injected == r.completed + r.dropped,
+                    "injected {} != completed {} + dropped {}",
+                    r.injected,
+                    r.completed,
+                    r.dropped
+                );
+                // Delivered rate can never exceed the node capacity by
+                // more than stochastic noise.
+                ensure!(r.throughput.as_bps() <= peak * 1e9 * 1.10);
+                // Latencies are sane.
+                ensure!(r.latency.p50 <= r.latency.p99);
+                ensure!(r.latency.p99 <= r.latency.max);
+                Ok(())
+            });
+    }
 
-        #[test]
-        fn conservation_and_sanity(
-            peak in 2.0f64..30.0,
-            load in 0.2f64..1.5,
-            queue in 2u32..64,
-            seed in 0u64..1000,
-        ) {
-            let g = ExecutionGraph::chain(
-                "c",
-                &[("ip", IpParams::new(Bandwidth::gbps(peak)).with_queue_capacity(queue))],
-            ).unwrap();
-            let hw = HardwareModel::default();
-            let t = TrafficProfile::fixed(Bandwidth::gbps(peak * load), Bytes::new(1000));
-            let r = Simulation::builder(&g, &hw, &t)
-                .seed(seed)
-                .duration(Seconds::millis(10.0))
-                .warmup(Seconds::ZERO)
-                .run();
-            // Conservation: with zero warmup and a full drain, every
-            // injected packet completed or dropped.
-            prop_assert_eq!(r.injected, r.completed + r.dropped);
-            // Delivered rate can never exceed the node capacity by more
-            // than stochastic noise.
-            prop_assert!(r.throughput.as_bps() <= peak * 1e9 * 1.10);
-            // Latencies are sane.
-            prop_assert!(r.latency.p50 <= r.latency.p99);
-            prop_assert!(r.latency.p99 <= r.latency.max);
-        }
-
-        #[test]
-        fn reproducibility(seed in 0u64..500) {
-            let g = ExecutionGraph::chain(
+    #[test]
+    fn reproducibility() {
+        Property::new("sim_reproducibility").cases(16).check(|g| {
+            let seed = g.u64(0..500);
+            let graph = ExecutionGraph::chain(
                 "r",
-                &[("ip", IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(16))],
-            ).unwrap();
+                &[(
+                    "ip",
+                    IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(16),
+                )],
+            )
+            .unwrap();
             let hw = HardwareModel::default();
             let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(700));
-            let run = || Simulation::builder(&g, &hw, &t)
-                .seed(seed)
-                .duration(Seconds::millis(5.0))
-                .warmup(Seconds::millis(1.0))
-                .run();
-            prop_assert_eq!(run(), run());
-        }
+            let run = || {
+                Simulation::builder(&graph, &hw, &t)
+                    .seed(seed)
+                    .duration(Seconds::millis(5.0))
+                    .warmup(Seconds::millis(1.0))
+                    .run()
+            };
+            ensure!(run() == run(), "seed {seed} not reproducible");
+            Ok(())
+        });
     }
 }

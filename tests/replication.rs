@@ -1,0 +1,118 @@
+//! Integration tests of the multi-seed replication engine: the
+//! determinism contract and the statistical behaviour the CI-based
+//! validation assertions rely on.
+
+use lognic::model::prelude::*;
+use lognic::sim::prelude::*;
+use lognic::sim::sim::SimConfig;
+
+fn hw() -> HardwareModel {
+    HardwareModel::new(Bandwidth::gbps(10_000.0), Bandwidth::gbps(10_000.0))
+}
+
+fn mm1_chain(queue: u32) -> ExecutionGraph {
+    ExecutionGraph::chain(
+        "rep",
+        &[(
+            "ip",
+            IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(queue),
+        )],
+    )
+    .unwrap()
+}
+
+fn cfg(ms: f64) -> SimConfig {
+    SimConfig {
+        duration: Seconds::millis(ms),
+        warmup: Seconds::millis(ms * 0.2),
+        ..SimConfig::default()
+    }
+}
+
+/// The acceptance-criteria contract: two invocations of
+/// `Replication::run` over the same seed set produce bit-identical
+/// aggregates — every mean, stddev and CI bound, and every per-seed
+/// report, compares equal.
+#[test]
+fn same_seed_set_gives_bit_identical_aggregates() {
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
+    let first = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0));
+    let second = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0));
+    assert_eq!(first, second, "replication must be invocation-stable");
+    // And independent of the worker-thread count.
+    let serial = Replication::new(8)
+        .threads(1)
+        .run_sim(&g, &hw, &t, cfg(4.0));
+    assert_eq!(first, serial, "thread schedule must not leak into bits");
+}
+
+/// Distinct seed sets genuinely explore different randomness.
+#[test]
+fn different_base_seeds_give_different_samples() {
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
+    let a = Replication::with_base_seed(1, 4).run_sim(&g, &hw, &t, cfg(2.0));
+    let b = Replication::with_base_seed(2, 4).run_sim(&g, &hw, &t, cfg(2.0));
+    assert_ne!(
+        a.latency_mean.mean, b.latency_mean.mean,
+        "different seeds must not collide"
+    );
+}
+
+/// The 95 % confidence interval tightens as the number of replicas
+/// grows: quadrupling N roughly halves the half-width (1/√N scaling,
+/// helped further by the shrinking t quantile).
+#[test]
+fn confidence_interval_shrinks_with_more_replicas() {
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
+    let small = Replication::new(4).run_sim(&g, &hw, &t, cfg(3.0));
+    let large = Replication::new(16).run_sim(&g, &hw, &t, cfg(3.0));
+    let hw_small = small.latency_mean.half_width();
+    let hw_large = large.latency_mean.half_width();
+    assert!(
+        hw_large < hw_small,
+        "CI must tighten: half-width {hw_large} at N=16 vs {hw_small} at N=4"
+    );
+    // The N=16 interval is still a valid interval around its mean.
+    assert!(large.latency_mean.contains(large.latency_mean.mean));
+    assert!(large.latency_mean.ci_lo <= large.latency_mean.ci_hi);
+}
+
+/// The replicated CI brackets the analytical M/M/1/N prediction — the
+/// statistically-sound form of the old hand-tuned-tolerance
+/// model-vs-sim checks (the full suite lives in `model_vs_sim.rs`).
+#[test]
+fn replicated_ci_brackets_analytical_mean_latency() {
+    use lognic::model::latency::estimate_latency;
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1250));
+    let model = estimate_latency(&g, &hw, &t).unwrap().mean().as_secs();
+    // Runs must be long enough that the residual finite-horizon bias
+    // (in-flight packets at the cut-off are unobserved) stays well
+    // inside the across-seed noise; 40 ms ≈ 19k packets per replica.
+    let rep = Replication::new(12).run_sim(&g, &hw, &t, cfg(40.0));
+    assert!(
+        rep.latency_mean.contains(model),
+        "model {model} outside {}",
+        rep.latency_mean
+    );
+}
+
+/// Custom metrics aggregate through the same machinery.
+#[test]
+fn summarize_custom_metric_is_deterministic() {
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+    let rep = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0));
+    let util_a = rep.summarize(|r| r.node("ip").unwrap().utilization);
+    let util_b = rep.summarize(|r| r.node("ip").unwrap().utilization);
+    assert_eq!(util_a, util_b);
+    assert!(util_a.mean > 0.3 && util_a.mean < 0.7, "util {util_a}");
+}
