@@ -63,6 +63,7 @@ pub fn queueing_ablation(f: Fidelity) -> FigureTable {
         let sim = Simulation::builder(&g, &fast_hw(), &traffic)
             .config(sim_cfg(f, 300.0, 77))
             .run()
+            .expect("valid scenario")
             .latency
             .mean
             .as_secs();
@@ -129,6 +130,7 @@ pub fn mixture_ablation(f: Fidelity) -> FigureTable {
         let sim = Simulation::builder(&g, &fast_hw(), &traffic)
             .config(sim_cfg(f, 100.0, 79))
             .run()
+            .expect("valid scenario")
             .latency
             .mean
             .as_secs();

@@ -97,6 +97,130 @@ impl std::error::Error for ModelError {}
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;
 
+/// The workspace-wide error type: everything that can go wrong while
+/// building, validating or running a LogNIC scenario — structural
+/// model errors ([`ModelError`]), malformed fault plans, invalid
+/// device profiles or run configurations, and the simulation
+/// watchdog's structured abort report.
+///
+/// `SimulationBuilder::build`, the degraded-mode estimators and the
+/// replication engine all return this type so that malformed inputs
+/// surface as diagnostics instead of panics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LogNicError {
+    /// A structural or parameter error from the analytical model.
+    Model(ModelError),
+    /// A name (service override, queue plan, fault window, …) refers
+    /// to a node that does not exist in the execution graph.
+    UnknownNode {
+        /// What referenced the node (e.g. `"fault window"`).
+        context: &'static str,
+        /// The dangling name.
+        node: String,
+    },
+    /// A fault-plan parameter is outside its valid domain.
+    InvalidFaultParameter {
+        /// Which parameter was rejected (e.g. `"drop probability"`).
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must lie in (0, 1]"`.
+        constraint: &'static str,
+    },
+    /// A fault window is empty or inverted (`until <= from`).
+    InvalidFaultWindow {
+        /// The targeted node.
+        node: String,
+        /// Window start, in seconds.
+        from: f64,
+        /// Window end, in seconds.
+        until: f64,
+    },
+    /// A run configuration is unusable (e.g. warmup past the horizon).
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A hardware model, traffic profile or device profile fails
+    /// validation.
+    InvalidProfile {
+        /// The component that failed (e.g. `"hardware model"`).
+        component: String,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The simulation watchdog aborted a run that exceeded its event
+    /// budget — the structured report replaces an apparent hang.
+    WatchdogAbort {
+        /// Events processed when the watchdog fired.
+        events: u64,
+        /// Simulated time reached, in seconds.
+        sim_time: f64,
+        /// Packets injected so far (all-time).
+        injected: u64,
+        /// Requests still queued or in service across all nodes.
+        in_flight: u64,
+    },
+}
+
+impl fmt::Display for LogNicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogNicError::Model(e) => e.fmt(f),
+            LogNicError::UnknownNode { context, node } => {
+                write!(f, "{context} references unknown node `{node}`")
+            }
+            LogNicError::InvalidFaultParameter {
+                parameter,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "fault parameter `{parameter}` = {value} is invalid: {constraint}"
+            ),
+            LogNicError::InvalidFaultWindow { node, from, until } => write!(
+                f,
+                "fault window [{from}s, {until}s) on node `{node}` is empty or inverted"
+            ),
+            LogNicError::InvalidConfig { reason } => {
+                write!(f, "invalid run configuration: {reason}")
+            }
+            LogNicError::InvalidProfile { component, reason } => {
+                write!(f, "invalid {component}: {reason}")
+            }
+            LogNicError::WatchdogAbort {
+                events,
+                sim_time,
+                injected,
+                in_flight,
+            } => write!(
+                f,
+                "watchdog aborted non-terminating run after {events} events \
+                 (sim time {sim_time}s, {injected} injected, {in_flight} in flight)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogNicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogNicError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for LogNicError {
+    fn from(e: ModelError) -> Self {
+        LogNicError::Model(e)
+    }
+}
+
+/// Convenience alias for results carrying the workspace-wide error.
+pub type LogNicResult<T> = std::result::Result<T, LogNicError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +244,37 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
         assert_send_sync::<ModelError>();
+        assert_send_sync::<LogNicError>();
+    }
+
+    #[test]
+    fn lognic_error_wraps_model_error() {
+        let e: LogNicError = ModelError::MissingIngress.into();
+        assert!(matches!(e, LogNicError::Model(_)));
+        assert!(e.to_string().contains("ingress"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn lognic_error_display_is_informative() {
+        let e = LogNicError::UnknownNode {
+            context: "fault window",
+            node: "crypto".into(),
+        };
+        assert!(e.to_string().contains("crypto"));
+        let e = LogNicError::WatchdogAbort {
+            events: 1000,
+            sim_time: 0.5,
+            injected: 42,
+            in_flight: 7,
+        };
+        assert!(e.to_string().contains("1000"));
+        assert!(e.to_string().contains("watchdog"));
+        let e = LogNicError::InvalidFaultWindow {
+            node: "ip".into(),
+            from: 2.0,
+            until: 1.0,
+        };
+        assert!(e.to_string().contains("ip"));
     }
 }

@@ -5,13 +5,14 @@
 //! [`Estimate`] (throughput, latency, drop-aware delivered rate) in
 //! one call.
 
-use crate::error::Result;
+use crate::error::{LogNicResult, Result};
 use crate::extensions::delivered_throughput;
+use crate::fault::FaultPlan;
 use crate::graph::ExecutionGraph;
 use crate::latency::{estimate_latency, LatencyEstimate};
-use crate::params::{HardwareModel, TrafficProfile};
+use crate::params::{HardwareModel, IpParams, TrafficProfile};
 use crate::throughput::{estimate_throughput, ThroughputEstimate};
-use crate::units::Bandwidth;
+use crate::units::{Bandwidth, Seconds};
 
 /// The combined output of one model evaluation.
 #[derive(Debug, Clone)]
@@ -98,6 +99,120 @@ impl<'a> Estimator<'a> {
             delivered: delivered_throughput(self.graph, self.hw, self.traffic)?,
         })
     }
+
+    /// Runs the availability-adjusted evaluation under a fault plan
+    /// over the horizon `[0, horizon]`.
+    ///
+    /// Faults enter the M/M/1/N formulation (Eq. 9–12) in two places:
+    ///
+    /// * **service side** — each node's computing throughput `P_vi` is
+    ///   scaled by its time-averaged rate factor (1 outside fault
+    ///   windows, the degradation factor inside them, 0 during an
+    ///   outage), and its queue capacity `N_vi` shrinks by the mean
+    ///   lost credits;
+    /// * **arrival side** — retries re-present refused packets, so the
+    ///   offered rate `λ` inflates by the expected attempts per packet,
+    ///   `(1 − p^(R+1)) / (1 − p)` with `p` the per-attempt path drop
+    ///   probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`crate::error::LogNicError`] when the plan
+    /// fails [`FaultPlan::validate`] against this graph, the inputs
+    /// fail profile validation, or the underlying model evaluation
+    /// fails.
+    pub fn estimate_degraded(
+        &self,
+        plan: &FaultPlan,
+        horizon: Seconds,
+    ) -> LogNicResult<DegradedEstimate> {
+        plan.validate(self.graph)?;
+        self.hw.validate()?;
+        self.traffic.validate()?;
+
+        // Service side: degrade each computing node's effective rate
+        // and queue capacity by the plan's time-averaged fault effect.
+        let mut degraded = self.graph.clone();
+        for (i, node) in self.graph.nodes().iter().enumerate() {
+            let Some(p) = node.params() else { continue };
+            let factor = plan.rate_factor(node.name(), horizon);
+            let credit_loss = plan.mean_credit_loss(node.name(), horizon);
+            if factor >= 1.0 && credit_loss <= 0.0 {
+                continue;
+            }
+            // A fully-out node keeps an epsilon of capacity so the
+            // queueing formulas stay finite; its latency still
+            // explodes, which is the right signal.
+            let scaled = IpParams::new(p.peak().scaled(factor.max(1e-6)))
+                .with_parallelism(p.parallelism())
+                .with_queue_capacity(
+                    ((p.queue_capacity() as f64 - credit_loss).floor() as u32).max(1),
+                )
+                .with_overhead(p.overhead())
+                .with_partition(p.partition())
+                .with_acceleration(p.acceleration())
+                .with_work_factor(p.work_factor());
+            degraded.set_ip_params(crate::graph::NodeId(i), scaled)?;
+        }
+
+        // Arrival side: retries inflate the offered rate.
+        let retry_inflation = plan.retry_inflation(self.graph, horizon);
+        let traffic = self
+            .traffic
+            .at_rate(self.traffic.ingress_bandwidth().scaled(retry_inflation));
+
+        let estimate = Estimator::new(&degraded, self.hw, &traffic).estimate()?;
+
+        let fault_drop_probability = plan.path_drop_probability(self.graph, horizon);
+        let residual_loss = plan.residual_loss(self.graph, horizon);
+        let corruption = plan.path_corruption_probability(self.graph, horizon);
+        // One offered packet yields at most one good delivery; cap the
+        // fault-adjusted goodput by what the degraded pipeline can
+        // actually deliver.
+        let goodput = self
+            .traffic
+            .ingress_bandwidth()
+            .scaled(((1.0 - residual_loss) * (1.0 - corruption)).max(0.0))
+            .min(estimate.delivered);
+
+        Ok(DegradedEstimate {
+            estimate,
+            availability: 1.0 - residual_loss,
+            retry_inflation,
+            fault_drop_probability,
+            residual_loss,
+            corruption_probability: corruption,
+            goodput,
+        })
+    }
+}
+
+/// The output of [`Estimator::estimate_degraded`]: the standard
+/// estimate evaluated on the degraded graph under retry-inflated
+/// load, plus the availability bookkeeping that produced it.
+#[derive(Debug, Clone)]
+pub struct DegradedEstimate {
+    /// Throughput/latency/delivered on the degraded graph with the
+    /// retry-inflated arrival rate.
+    pub estimate: Estimate,
+    /// The fraction of offered packets eventually delivered with
+    /// respect to fault losses: `1 − residual_loss`.
+    pub availability: f64,
+    /// Expected attempts per offered packet (≥ 1); the `λ` inflation
+    /// factor.
+    pub retry_inflation: f64,
+    /// The per-attempt probability a packet is refused somewhere on
+    /// the path.
+    pub fault_drop_probability: f64,
+    /// The probability a packet is lost even after exhausting its
+    /// retry budget.
+    pub residual_loss: f64,
+    /// The probability a delivered packet was corrupted in transit.
+    pub corruption_probability: f64,
+    /// Fault-adjusted useful delivered rate: offered ×
+    /// `(1 − residual_loss)(1 − corruption)`, capped by the degraded
+    /// pipeline's delivered rate.
+    pub goodput: Bandwidth,
 }
 
 #[cfg(test)]
@@ -124,6 +239,122 @@ mod tests {
         assert!(est.latency.mean().as_micros() > 0.0);
         assert!(est.delivered <= est.throughput.attainable());
         assert_eq!(e.graph().name(), "t");
+    }
+
+    #[test]
+    fn degraded_estimate_matches_plain_estimate_for_empty_plan() {
+        let g = ExecutionGraph::chain(
+            "t",
+            &[(
+                "ip",
+                IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(32),
+            )],
+        )
+        .unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
+        let e = Estimator::new(&g, &hw, &traffic);
+        let plain = e.estimate().unwrap();
+        let deg = e
+            .estimate_degraded(&FaultPlan::new(), Seconds::millis(10.0))
+            .unwrap();
+        assert_eq!(deg.retry_inflation, 1.0);
+        assert_eq!(deg.availability, 1.0);
+        assert_eq!(deg.residual_loss, 0.0);
+        assert_eq!(
+            deg.estimate.throughput.attainable(),
+            plain.throughput.attainable()
+        );
+        assert_eq!(deg.estimate.latency.mean(), plain.latency.mean());
+        assert_eq!(
+            deg.goodput,
+            plain.delivered.min(traffic.ingress_bandwidth())
+        );
+    }
+
+    #[test]
+    fn full_horizon_rate_degradation_halves_capacity() {
+        let g = ExecutionGraph::chain(
+            "t",
+            &[(
+                "ip",
+                IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(64),
+            )],
+        )
+        .unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(20.0), Bytes::new(1000));
+        let h = Seconds::millis(10.0);
+        let plan = FaultPlan::new().degrade_rate("ip", 0.5, Seconds::ZERO, h);
+        let deg = Estimator::new(&g, &hw, &traffic)
+            .estimate_degraded(&plan, h)
+            .unwrap();
+        // 10 Gb/s node at 50% serves 5 Gb/s.
+        assert!(
+            (deg.estimate.throughput.attainable().as_gbps() - 5.0).abs() < 1e-9,
+            "{}",
+            deg.estimate.throughput.attainable()
+        );
+    }
+
+    #[test]
+    fn retry_inflation_raises_offered_load() {
+        let g = ExecutionGraph::chain(
+            "t",
+            &[(
+                "ip",
+                IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(64),
+            )],
+        )
+        .unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
+        let h = Seconds::millis(10.0);
+        let plan = FaultPlan::new()
+            .drop_packets("ip", 0.2, Seconds::ZERO, h)
+            .with_retry(crate::fault::RetryPolicy::new(3, Seconds::micros(1.0)));
+        let deg = Estimator::new(&g, &hw, &traffic)
+            .estimate_degraded(&plan, h)
+            .unwrap();
+        let expect_infl = (1.0 - 0.2f64.powi(4)) / 0.8;
+        assert!((deg.retry_inflation - expect_infl).abs() < 1e-12);
+        assert!((deg.fault_drop_probability - 0.2).abs() < 1e-12);
+        assert!((deg.residual_loss - 0.2f64.powi(4)).abs() < 1e-12);
+        // Offered 4 Gb/s inflated by attempts, still under the 10 Gb/s
+        // capacity: attainable equals the inflated load.
+        assert!((deg.estimate.throughput.attainable().as_gbps() - 4.0 * expect_infl).abs() < 1e-9);
+        // Goodput is the offered rate times availability.
+        assert!((deg.goodput.as_gbps() - 4.0 * deg.availability).abs() < 1e-9);
+        // Degraded latency under a heavier effective load is no better
+        // than the fault-free latency.
+        let plain = Estimator::new(&g, &hw, &traffic).estimate().unwrap();
+        assert!(deg.estimate.latency.mean() >= plain.latency.mean());
+    }
+
+    #[test]
+    fn degraded_estimate_rejects_invalid_inputs_with_typed_errors() {
+        use crate::error::LogNicError;
+        let g = ExecutionGraph::chain("t", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))]).unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(64));
+        let e = Estimator::new(&g, &hw, &traffic);
+        let h = Seconds::millis(1.0);
+        let plan = FaultPlan::new().outage("ghost", Seconds::ZERO, h);
+        assert!(matches!(
+            e.estimate_degraded(&plan, h),
+            Err(LogNicError::UnknownNode { .. })
+        ));
+        let plan = FaultPlan::new().drop_packets("ip", 2.0, Seconds::ZERO, h);
+        assert!(matches!(
+            e.estimate_degraded(&plan, h),
+            Err(LogNicError::InvalidFaultParameter { .. })
+        ));
+        let starved = TrafficProfile::fixed(Bandwidth::ZERO, Bytes::new(64));
+        let e = Estimator::new(&g, &hw, &starved);
+        assert!(matches!(
+            e.estimate_degraded(&FaultPlan::new(), h),
+            Err(LogNicError::InvalidProfile { .. })
+        ));
     }
 
     #[test]

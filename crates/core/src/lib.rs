@@ -54,6 +54,7 @@ pub mod baselines;
 pub mod error;
 pub mod estimate;
 pub mod extensions;
+pub mod fault;
 pub mod graph;
 pub mod latency;
 pub mod lint;
@@ -68,12 +69,13 @@ pub mod units;
 /// The most commonly used items, re-exported for convenient glob
 /// import.
 pub mod prelude {
-    pub use crate::error::{ModelError, Result};
-    pub use crate::estimate::{Estimate, Estimator};
+    pub use crate::error::{LogNicError, LogNicResult, ModelError, Result};
+    pub use crate::estimate::{DegradedEstimate, Estimate, Estimator};
     pub use crate::extensions::{consolidate, delivered_throughput, estimate_mixed, Tenant};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
     pub use crate::graph::{EdgeId, ExecutionGraph, NodeId, NodeKind};
     pub use crate::latency::{estimate_latency, LatencyEstimate};
-    pub use crate::lint::{lint, LintWarning};
+    pub use crate::lint::{lint, lint_faults, LintWarning};
     pub use crate::params::{EdgeParams, HardwareModel, IpParams, PacketSizeDist, TrafficProfile};
     pub use crate::queueing::Mm1n;
     pub use crate::roofline::IpRoofline;

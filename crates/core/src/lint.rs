@@ -8,6 +8,7 @@
 //! advisory — all of these are occasionally intentional (e.g. `α > δ`
 //! folds an IP's internal traffic into its ingress edge, §4.7).
 
+use crate::fault::FaultPlan;
 use crate::graph::{ExecutionGraph, NodeId, NodeKind};
 
 /// One advisory finding.
@@ -49,6 +50,35 @@ pub enum LintWarning {
         /// The summed `γ`.
         total: f64,
     },
+    /// A fault window targets a node name absent from the execution
+    /// graph: the fault would silently never fire.
+    FaultUnknownNode {
+        /// Index of the window inside the fault plan.
+        window: usize,
+        /// The dangling node name.
+        node: String,
+    },
+    /// Two same-kind fault windows on the same node overlap in time:
+    /// duty-cycle math double-counts the overlap, which is almost
+    /// always a specification mistake.
+    FaultOverlappingWindows {
+        /// The shared node name.
+        node: String,
+        /// Index of the earlier window inside the fault plan.
+        first: usize,
+        /// Index of the later window inside the fault plan.
+        second: usize,
+    },
+    /// The plan schedules loss-inducing faults (outage, drop, credit
+    /// loss) but installs a retry policy with a zero budget: packets
+    /// refused by the fault are never retried, so the policy is dead
+    /// weight.
+    FaultZeroRetryBudget {
+        /// Index of the loss-inducing window inside the fault plan.
+        window: usize,
+        /// The targeted node name.
+        node: String,
+    },
 }
 
 impl core::fmt::Display for LintWarning {
@@ -67,6 +97,22 @@ impl core::fmt::Display for LintWarning {
             LintWarning::OversubscribedPartition { name, total } => write!(
                 f,
                 "vertices named `{name}` hold γ partitions summing to {total:.2} > 1"
+            ),
+            LintWarning::FaultUnknownNode { window, node } => write!(
+                f,
+                "fault-plan[{window}]: window targets unknown node `{node}` and will never fire"
+            ),
+            LintWarning::FaultOverlappingWindows {
+                node,
+                first,
+                second,
+            } => write!(
+                f,
+                "fault-plan[{second}]: window overlaps fault-plan[{first}] of the same kind on node `{node}`"
+            ),
+            LintWarning::FaultZeroRetryBudget { window, node } => write!(
+                f,
+                "fault-plan[{window}]: loss-inducing fault on node `{node}` with a zero retry budget — refused packets are never retried"
             ),
         }
     }
@@ -145,6 +191,65 @@ pub fn lint(graph: &ExecutionGraph) -> Vec<LintWarning> {
             });
         }
     }
+    warnings
+}
+
+/// Lints a fault plan against the graph it will run on, returning
+/// advisory warnings (empty = clean).
+///
+/// Unlike [`FaultPlan::validate`] — which rejects malformed plans with
+/// a typed error — these findings are advisories about plans that are
+/// *valid* but probably not what the author meant: windows that target
+/// nodes the graph does not contain, same-kind windows overlapping on
+/// one node, and loss-inducing faults paired with a zero retry budget.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::fault::FaultPlan;
+/// use lognic_model::graph::ExecutionGraph;
+/// use lognic_model::lint::lint_faults;
+/// use lognic_model::params::IpParams;
+/// use lognic_model::units::{Bandwidth, Seconds};
+///
+/// # fn main() -> lognic_model::error::Result<()> {
+/// let g = ExecutionGraph::chain("ok", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))])?;
+/// let plan = FaultPlan::new().outage("ghost", Seconds::ZERO, Seconds::millis(1.0));
+/// assert_eq!(lint_faults(&g, &plan).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lint_faults(graph: &ExecutionGraph, plan: &FaultPlan) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+
+    for (i, w) in plan.windows().iter().enumerate() {
+        if graph.node_by_name(w.node()).is_none() {
+            warnings.push(LintWarning::FaultUnknownNode {
+                window: i,
+                node: w.node().to_owned(),
+            });
+        }
+    }
+
+    for (first, second) in plan.overlapping_windows() {
+        warnings.push(LintWarning::FaultOverlappingWindows {
+            node: plan.windows()[first].node().to_owned(),
+            first,
+            second,
+        });
+    }
+
+    if plan.retry().is_some_and(|rp| rp.budget() == 0) {
+        for (i, w) in plan.windows().iter().enumerate() {
+            if w.kind().is_lossy() {
+                warnings.push(LintWarning::FaultZeroRetryBudget {
+                    window: i,
+                    node: w.node().to_owned(),
+                });
+            }
+        }
+    }
+
     warnings
 }
 
@@ -247,6 +352,80 @@ mod tests {
         assert!(warnings.iter().any(
             |w| matches!(w, LintWarning::OversubscribedPartition { name, total } if name == "cores" && (*total - 1.4).abs() < 1e-9)
         ));
+    }
+
+    #[test]
+    fn fault_lint_clean_plan_has_no_warnings() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use crate::units::Seconds;
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0))]).unwrap();
+        let plan = FaultPlan::new()
+            .outage("a", Seconds::ZERO, Seconds::millis(1.0))
+            .with_retry(RetryPolicy::new(3, Seconds::micros(1.0)));
+        assert!(lint_faults(&g, &plan).is_empty());
+    }
+
+    #[test]
+    fn fault_lint_unknown_node_flagged() {
+        use crate::fault::FaultPlan;
+        use crate::units::Seconds;
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0))]).unwrap();
+        let plan = FaultPlan::new()
+            .outage("a", Seconds::ZERO, Seconds::millis(1.0))
+            .drop_packets("ghost", 0.1, Seconds::ZERO, Seconds::millis(1.0));
+        let warnings = lint_faults(&g, &plan);
+        assert!(
+            warnings.iter().any(|w| matches!(
+                w,
+                LintWarning::FaultUnknownNode { window: 1, node } if node == "ghost"
+            )),
+            "{warnings:?}"
+        );
+        let text = warnings[0].to_string();
+        assert!(text.contains("fault-plan[1]"), "{text}");
+        assert!(text.contains("ghost"), "{text}");
+    }
+
+    #[test]
+    fn fault_lint_overlapping_windows_flagged() {
+        use crate::fault::FaultPlan;
+        use crate::units::Seconds;
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0))]).unwrap();
+        let plan = FaultPlan::new()
+            .outage("a", Seconds::millis(1.0), Seconds::millis(3.0))
+            .outage("a", Seconds::millis(2.0), Seconds::millis(4.0));
+        let warnings = lint_faults(&g, &plan);
+        assert!(warnings.iter().any(|w| matches!(
+            w,
+            LintWarning::FaultOverlappingWindows {
+                node,
+                first: 0,
+                second: 1,
+            } if node == "a"
+        )));
+        assert!(warnings[0].to_string().contains("fault-plan[1]"));
+    }
+
+    #[test]
+    fn fault_lint_zero_retry_budget_flagged() {
+        use crate::fault::{FaultPlan, RetryPolicy};
+        use crate::units::Seconds;
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0))]).unwrap();
+        let plan = FaultPlan::new()
+            .drop_packets("a", 0.1, Seconds::ZERO, Seconds::millis(1.0))
+            .corrupt_packets("a", 0.1, Seconds::ZERO, Seconds::millis(1.0))
+            .with_retry(RetryPolicy::new(0, Seconds::micros(1.0)));
+        let warnings = lint_faults(&g, &plan);
+        // Only the loss-inducing window (the drop) is flagged;
+        // corruption does not refuse packets.
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(matches!(
+            &warnings[0],
+            LintWarning::FaultZeroRetryBudget { window: 0, node } if node == "a"
+        ));
+        // A non-zero budget silences the lint.
+        let plan = plan.with_retry(RetryPolicy::new(1, Seconds::micros(1.0)));
+        assert!(lint_faults(&g, &plan).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! size distribution) and **output** (the throughput/latency estimates,
 //! which live in [`crate::estimate`]).
 
-use crate::error::{ModelError, Result};
+use crate::error::{LogNicError, LogNicResult, ModelError, Result};
 use crate::units::{Bandwidth, Bytes, Seconds};
 
 /// Hardware-category parameters: shared communication media of the
@@ -46,6 +46,30 @@ impl HardwareModel {
     /// The aggregate memory-subsystem bandwidth (`BW_MEM`).
     pub fn memory_bandwidth(&self) -> Bandwidth {
         self.bw_memory
+    }
+
+    /// Checks the model is usable as a simulation/estimation input: a
+    /// zero-bandwidth medium starves every path that touches it,
+    /// which is never a meaningful configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidProfile`] naming the offending
+    /// medium.
+    pub fn validate(&self) -> LogNicResult<()> {
+        if self.bw_interface.is_zero() {
+            return Err(LogNicError::InvalidProfile {
+                component: "hardware model".into(),
+                reason: "interface bandwidth is zero".into(),
+            });
+        }
+        if self.bw_memory.is_zero() {
+            return Err(LogNicError::InvalidProfile {
+                component: "hardware model".into(),
+                reason: "memory bandwidth is zero".into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -538,6 +562,37 @@ impl TrafficProfile {
         self.granularity
     }
 
+    /// Checks the profile is usable as a simulation/estimation input:
+    /// the offered rate must be positive (a zero rate makes Poisson
+    /// inter-arrival times infinite) and packet sizes must be
+    /// non-zero, as must any granularity override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidProfile`] describing the
+    /// violation.
+    pub fn validate(&self) -> LogNicResult<()> {
+        if self.ingress_bandwidth.is_zero() {
+            return Err(LogNicError::InvalidProfile {
+                component: "traffic profile".into(),
+                reason: "ingress bandwidth is zero — no packets would ever arrive".into(),
+            });
+        }
+        if self.sizes.entries().iter().any(|(s, _)| s.get() == 0) {
+            return Err(LogNicError::InvalidProfile {
+                component: "traffic profile".into(),
+                reason: "packet-size distribution contains a zero-byte size".into(),
+            });
+        }
+        if self.granularity == Some(Bytes::new(0)) {
+            return Err(LogNicError::InvalidProfile {
+                component: "traffic profile".into(),
+                reason: "ingress granularity override is zero bytes".into(),
+            });
+        }
+        Ok(())
+    }
+
     /// The mean packet arrival rate in packets per second.
     pub fn mean_packet_rate(&self) -> f64 {
         let mean = self.sizes.mean_size();
@@ -705,6 +760,33 @@ mod tests {
         assert_eq!(t2.ingress_bandwidth(), Bandwidth::gbps(5.0));
         assert_eq!(t2.granularity_override(), Some(Bytes::new(128)));
         assert_eq!(t2.sizes(), t.sizes());
+    }
+
+    #[test]
+    fn hardware_model_validate() {
+        assert!(HardwareModel::default().validate().is_ok());
+        let e = HardwareModel::new(Bandwidth::ZERO, Bandwidth::gbps(1.0))
+            .validate()
+            .unwrap_err();
+        assert!(matches!(e, LogNicError::InvalidProfile { .. }));
+        assert!(e.to_string().contains("interface"));
+        assert!(HardwareModel::new(Bandwidth::gbps(1.0), Bandwidth::ZERO)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn traffic_profile_validate() {
+        let ok = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(64));
+        assert!(ok.validate().is_ok());
+        assert!(ok.at_rate(Bandwidth::ZERO).validate().is_err());
+        let zero_size = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(0));
+        assert!(zero_size.validate().is_err());
+        let zero_gran = ok.with_granularity(Bytes::new(0));
+        assert!(matches!(
+            zero_gran.validate(),
+            Err(LogNicError::InvalidProfile { component, .. }) if component == "traffic profile"
+        ));
     }
 
     #[test]

@@ -28,5 +28,6 @@ pub mod liquidio;
 pub mod panic;
 pub mod rmt_switch;
 pub mod stingray;
+pub mod validate;
 
 pub use cost::CostModel;

@@ -1,0 +1,86 @@
+//! Profile validation: every calibrated device profile, checked
+//! through the model's typed validators.
+//!
+//! Device numbers are hand-calibrated against the paper's anchors; a
+//! typo'd bandwidth (zero, negative via a bad formula, a unit slip)
+//! would otherwise surface only as a confusing downstream estimate.
+//! [`validate_all_profiles`] runs each device's [`HardwareModel`]
+//! through [`HardwareModel::validate`] and reports the offender by
+//! name, so a broken calibration fails fast with a typed
+//! [`LogNicError::InvalidProfile`].
+//!
+//! [`LogNicError::InvalidProfile`]: lognic_model::error::LogNicError
+
+use lognic_model::error::{LogNicError, LogNicResult};
+use lognic_model::params::HardwareModel;
+
+use crate::bluefield::BlueField2;
+use crate::liquidio::LiquidIo;
+use crate::panic::Panic;
+use crate::rmt_switch::RmtSwitch;
+use crate::stingray::Stingray;
+
+/// Every calibrated device profile, by name.
+pub fn all_profiles() -> Vec<(&'static str, HardwareModel)> {
+    vec![
+        ("liquidio-ii", LiquidIo::hardware()),
+        ("stingray", Stingray::hardware()),
+        ("bluefield-2", BlueField2::hardware()),
+        ("panic", Panic::hardware()),
+        ("rmt-switch", RmtSwitch::hardware()),
+    ]
+}
+
+/// Validates one named hardware profile, attributing any failure to
+/// the device.
+///
+/// # Errors
+///
+/// Returns [`lognic_model::error::LogNicError::InvalidProfile`] with
+/// the device name folded into the reason when the profile is
+/// degenerate.
+pub fn validate_profile(name: &str, hw: &HardwareModel) -> LogNicResult<()> {
+    hw.validate().map_err(|e| match e {
+        LogNicError::InvalidProfile { component, reason } => LogNicError::InvalidProfile {
+            component,
+            reason: format!("device `{name}`: {reason}"),
+        },
+        other => other,
+    })
+}
+
+/// Validates every calibrated device profile.
+///
+/// # Errors
+///
+/// Propagates the first invalid profile, attributed to its device.
+pub fn validate_all_profiles() -> LogNicResult<()> {
+    for (name, hw) in all_profiles() {
+        validate_profile(name, &hw)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lognic_model::units::Bandwidth;
+
+    #[test]
+    fn all_calibrated_profiles_are_valid() {
+        validate_all_profiles().expect("calibrated profiles must validate");
+        assert_eq!(all_profiles().len(), 5);
+    }
+
+    #[test]
+    fn degenerate_profile_is_attributed_to_the_device() {
+        let broken = HardwareModel::new(Bandwidth::ZERO, Bandwidth::gbps(10.0));
+        let err = validate_profile("broken-nic", &broken).unwrap_err();
+        match err {
+            LogNicError::InvalidProfile { reason, .. } => {
+                assert!(reason.contains("broken-nic"), "{reason}");
+            }
+            other => panic!("expected InvalidProfile, got {other}"),
+        }
+    }
+}

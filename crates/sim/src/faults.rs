@@ -1,0 +1,192 @@
+//! Fault injection for the discrete-event simulator.
+//!
+//! The declarative side — [`FaultPlan`], [`FaultKind`],
+//! [`FaultWindow`], [`RetryPolicy`] — lives in
+//! [`lognic_model::fault`] so the analytical model can evaluate the
+//! same plan; this module re-exports it and adds the runtime side:
+//! the per-node compiled schedule the event loop consults on every
+//! arrival.
+//!
+//! Compiled schedules are deliberately simple (a linear scan of a
+//! node's windows): plans hold a handful of windows, and the scan is
+//! branch-predictable. The important property is *determinism* — a
+//! node with no fault windows never touches the RNG, so fault-free
+//! runs reproduce the exact event sequence of builds that predate the
+//! fault subsystem.
+
+pub use lognic_model::fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
+
+use crate::time::SimTime;
+
+/// A fault effect compiled to simulator time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CompiledKind {
+    /// Refuse every arrival.
+    Outage,
+    /// Serve at this fraction of the nominal rate.
+    Rate(f64),
+    /// Refuse each arrival with this probability.
+    Drop(f64),
+    /// Corrupt each arrival with this probability.
+    Corrupt(f64),
+    /// Remove this many credits from the node's bounded queue.
+    CreditLoss(u32),
+}
+
+/// One node's compiled fault schedule.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NodeFaults {
+    windows: Vec<(SimTime, SimTime, CompiledKind)>,
+}
+
+impl NodeFaults {
+    pub(crate) fn push(&mut self, from: SimTime, until: SimTime, kind: CompiledKind) {
+        self.windows.push((from, until, kind));
+    }
+
+    /// True when the node has no scheduled faults: the event loop
+    /// skips every fault check *and every fault RNG draw*, keeping
+    /// fault-free runs bit-identical to pre-fault builds.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    fn active(&self, now: SimTime) -> impl Iterator<Item = CompiledKind> + '_ {
+        self.windows
+            .iter()
+            .filter(move |(from, until, _)| now >= *from && now < *until)
+            .map(|(_, _, k)| *k)
+    }
+
+    /// True when an outage window covers `now`.
+    pub(crate) fn outage_at(&self, now: SimTime) -> bool {
+        self.active(now).any(|k| matches!(k, CompiledKind::Outage))
+    }
+
+    /// The product of all active rate-degradation factors (1.0 when
+    /// none are active). Outages are handled separately.
+    pub(crate) fn rate_factor_at(&self, now: SimTime) -> f64 {
+        self.active(now)
+            .filter_map(|k| match k {
+                CompiledKind::Rate(f) => Some(f),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The combined drop probability of all active drop windows:
+    /// `1 − Π(1 − p)`.
+    pub(crate) fn drop_prob_at(&self, now: SimTime) -> f64 {
+        1.0 - self
+            .active(now)
+            .filter_map(|k| match k {
+                CompiledKind::Drop(p) => Some(1.0 - p),
+                _ => None,
+            })
+            .product::<f64>()
+    }
+
+    /// The combined corruption probability of all active corruption
+    /// windows.
+    pub(crate) fn corrupt_prob_at(&self, now: SimTime) -> f64 {
+        1.0 - self
+            .active(now)
+            .filter_map(|k| match k {
+                CompiledKind::Corrupt(p) => Some(1.0 - p),
+                _ => None,
+            })
+            .product::<f64>()
+    }
+
+    /// The total credits removed from the node's bounded queue at
+    /// `now`.
+    pub(crate) fn credit_loss_at(&self, now: SimTime) -> u32 {
+        self.active(now)
+            .map(|k| match k {
+                CompiledKind::CreditLoss(c) => c,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Compiles a declarative fault kind to simulator time.
+pub(crate) fn compile_kind(kind: FaultKind) -> CompiledKind {
+    match kind {
+        FaultKind::Outage => CompiledKind::Outage,
+        FaultKind::RateDegradation { factor } => CompiledKind::Rate(factor),
+        FaultKind::PacketDrop { probability } => CompiledKind::Drop(probability),
+        FaultKind::PacketCorruption { probability } => CompiledKind::Corrupt(probability),
+        FaultKind::CreditLoss { credits } => CompiledKind::CreditLoss(credits),
+        // FaultKind is #[non_exhaustive]; unknown future kinds are
+        // rejected by FaultPlan::validate before compilation.
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("unvalidated fault kind reached the compiler"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let f = NodeFaults::default();
+        assert!(f.is_empty());
+        assert!(!f.outage_at(t(1.0)));
+        assert_eq!(f.rate_factor_at(t(1.0)), 1.0);
+        assert_eq!(f.drop_prob_at(t(1.0)), 0.0);
+        assert_eq!(f.corrupt_prob_at(t(1.0)), 0.0);
+        assert_eq!(f.credit_loss_at(t(1.0)), 0);
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let mut f = NodeFaults::default();
+        f.push(t(2.0), t(4.0), CompiledKind::Outage);
+        assert!(!f.outage_at(t(1.9)));
+        assert!(f.outage_at(t(2.0)), "start is inclusive");
+        assert!(f.outage_at(t(3.9)));
+        assert!(!f.outage_at(t(4.0)), "end is exclusive");
+    }
+
+    #[test]
+    fn active_effects_compose() {
+        let mut f = NodeFaults::default();
+        f.push(t(0.0), t(10.0), CompiledKind::Rate(0.5));
+        f.push(t(5.0), t(10.0), CompiledKind::Rate(0.5));
+        f.push(t(0.0), t(10.0), CompiledKind::Drop(0.5));
+        f.push(t(0.0), t(10.0), CompiledKind::Drop(0.5));
+        f.push(t(0.0), t(10.0), CompiledKind::CreditLoss(3));
+        f.push(t(0.0), t(10.0), CompiledKind::CreditLoss(4));
+        assert_eq!(f.rate_factor_at(t(1.0)), 0.5);
+        assert_eq!(f.rate_factor_at(t(6.0)), 0.25, "factors multiply");
+        assert!((f.drop_prob_at(t(1.0)) - 0.75).abs() < 1e-12, "1-(1-p)^2");
+        assert_eq!(f.credit_loss_at(t(1.0)), 7, "credits sum");
+    }
+
+    #[test]
+    fn compile_maps_every_declarative_kind() {
+        assert_eq!(compile_kind(FaultKind::Outage), CompiledKind::Outage);
+        assert_eq!(
+            compile_kind(FaultKind::RateDegradation { factor: 0.3 }),
+            CompiledKind::Rate(0.3)
+        );
+        assert_eq!(
+            compile_kind(FaultKind::PacketDrop { probability: 0.1 }),
+            CompiledKind::Drop(0.1)
+        );
+        assert_eq!(
+            compile_kind(FaultKind::PacketCorruption { probability: 0.2 }),
+            CompiledKind::Corrupt(0.2)
+        );
+        assert_eq!(
+            compile_kind(FaultKind::CreditLoss { credits: 5 }),
+            CompiledKind::CreditLoss(5)
+        );
+    }
+}

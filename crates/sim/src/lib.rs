@@ -23,7 +23,7 @@
 //! use lognic_model::prelude::*;
 //! use lognic_sim::prelude::*;
 //!
-//! # fn main() -> lognic_model::error::Result<()> {
+//! # fn main() -> LogNicResult<()> {
 //! let graph = ExecutionGraph::chain(
 //!     "udp-echo",
 //!     &[("nic-cores", IpParams::new(Bandwidth::gbps(10.0)).with_parallelism(8))],
@@ -35,14 +35,24 @@
 //!     .seed(7)
 //!     .duration(Seconds::millis(5.0))
 //!     .warmup(Seconds::millis(1.0))
-//!     .run();
+//!     .run()?;
 //! assert!((report.throughput.as_gbps() - 5.0).abs() < 0.5);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Fault injection
+//!
+//! Runs degrade gracefully under a [`faults::FaultPlan`]: outages,
+//! rate degradation, probabilistic drop/corruption and credit loss
+//! are scheduled per node, while a [`faults::RetryPolicy`] re-submits
+//! refused packets with exponential backoff. See
+//! [`sim::SimulationBuilder::with_fault_plan`].
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod faults;
 pub mod medium;
 pub mod metrics;
 pub mod packet;
@@ -57,6 +67,7 @@ pub mod wrr;
 
 /// The most commonly used items.
 pub mod prelude {
+    pub use crate::faults::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
     pub use crate::metrics::{LatencySummary, MediumReport, NodeReport, SimReport};
     pub use crate::packet::Packet;
     pub use crate::replicate::{ReplicatedReport, Replication};

@@ -128,6 +128,21 @@ pub struct SimReport {
     pub offered: Bandwidth,
     /// Delivered egress rate over the window.
     pub throughput: Bandwidth,
+    /// Delivered egress rate counting only uncorrupted packets.
+    /// Equals `throughput` unless a packet-corruption fault window
+    /// was active during the run.
+    pub goodput: Bandwidth,
+    /// Retry attempts consumed by the fault-recovery policy inside
+    /// the window (0 without a [`RetryPolicy`]).
+    ///
+    /// [`RetryPolicy`]: lognic_model::fault::RetryPolicy
+    pub retries: u64,
+    /// Packets abandoned because their sojourn exceeded the plan
+    /// deadline. Also counted in `dropped`.
+    pub timed_out: u64,
+    /// Completed packets whose payload a corruption window flipped.
+    /// Also counted in `completed`.
+    pub corrupted: u64,
     /// Delivered packet rate over the window (packets per second).
     pub packet_rate: f64,
     /// Latency statistics of completed packets.

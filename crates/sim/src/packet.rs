@@ -16,6 +16,12 @@ pub struct Packet {
     /// profile's `dist_size`. Device models use it to distinguish
     /// request kinds sharing a size (e.g. reads vs writes).
     pub class: u32,
+    /// Set when a [`FaultKind::PacketCorruption`] window flipped the
+    /// packet's payload. Corrupted packets still traverse (and load)
+    /// the pipeline but are excluded from goodput at the egress.
+    ///
+    /// [`FaultKind::PacketCorruption`]: lognic_model::fault::FaultKind
+    pub corrupted: bool,
 }
 
 impl Packet {
@@ -26,6 +32,7 @@ impl Packet {
             size,
             injected_at,
             class,
+            corrupted: false,
         }
     }
 

@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use lognic_model::error::LogNicResult;
+use lognic_model::fault::FaultPlan;
 use lognic_model::graph::ExecutionGraph;
 use lognic_model::params::{HardwareModel, TrafficProfile};
 
@@ -38,7 +40,7 @@ pub const DEFAULT_BASE_SEED: u64 = 0x4C6F_674E_4943_5253; // "LogNICRS"
 /// use lognic_model::prelude::*;
 /// use lognic_sim::prelude::*;
 ///
-/// # fn main() -> lognic_model::error::Result<()> {
+/// # fn main() -> LogNicResult<()> {
 /// let g = ExecutionGraph::chain("echo", &[("core", IpParams::new(Bandwidth::gbps(10.0)))])?;
 /// let hw = HardwareModel::default();
 /// let t = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
@@ -47,7 +49,7 @@ pub const DEFAULT_BASE_SEED: u64 = 0x4C6F_674E_4943_5253; // "LogNICRS"
 ///     warmup: Seconds::micros(400.0),
 ///     ..SimConfig::default()
 /// };
-/// let rep = Replication::new(4).run_sim(&g, &hw, &t, cfg);
+/// let rep = Replication::new(4).run_sim(&g, &hw, &t, cfg)?;
 /// assert_eq!(rep.n(), 4);
 /// assert!(rep.throughput_gbps.contains(rep.throughput_gbps.mean));
 /// # Ok(())
@@ -153,6 +155,39 @@ impl Replication {
         ReplicatedReport::aggregate(self.seeds.clone(), reports)
     }
 
+    /// Like [`Replication::run`] for fallible replicas: runs every
+    /// seed, then propagates the first error *in seed order* (not in
+    /// completion order, which would make the reported error depend on
+    /// the thread schedule).
+    pub fn try_run<F>(&self, run_one: F) -> LogNicResult<ReplicatedReport>
+    where
+        F: Fn(u64) -> LogNicResult<SimReport> + Sync,
+    {
+        let slots: Mutex<Vec<Option<LogNicResult<SimReport>>>> =
+            Mutex::new((0..self.seeds.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_count();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = self.seeds.get(i) else {
+                        break;
+                    };
+                    let report = run_one(seed);
+                    slots.lock().expect("no poisoned workers")[i] = Some(report);
+                });
+            }
+        });
+        let reports: Vec<SimReport> = slots
+            .into_inner()
+            .expect("scope joined all workers")
+            .into_iter()
+            .map(|r| r.expect("every seed index was claimed exactly once"))
+            .collect::<LogNicResult<_>>()?;
+        Ok(ReplicatedReport::aggregate(self.seeds.clone(), reports))
+    }
+
     /// Convenience: replicates a plain [`Simulation`] built from the
     /// three model inputs, overriding only the seed per replica.
     pub fn run_sim(
@@ -161,10 +196,30 @@ impl Replication {
         hw: &HardwareModel,
         traffic: &TrafficProfile,
         config: SimConfig,
-    ) -> ReplicatedReport {
-        self.run(|seed| {
+    ) -> LogNicResult<ReplicatedReport> {
+        self.try_run(|seed| {
             Simulation::builder(graph, hw, traffic)
                 .config(SimConfig { seed, ..config })
+                .run()
+        })
+    }
+
+    /// Convenience: like [`Replication::run_sim`] with a
+    /// [`FaultPlan`] installed on every replica. Fault outcomes are a
+    /// pure function of each replica's seed, so the aggregate is as
+    /// deterministic as a fault-free replication.
+    pub fn run_sim_faulted(
+        &self,
+        graph: &ExecutionGraph,
+        hw: &HardwareModel,
+        traffic: &TrafficProfile,
+        config: SimConfig,
+        plan: &FaultPlan,
+    ) -> LogNicResult<ReplicatedReport> {
+        self.try_run(|seed| {
+            Simulation::builder(graph, hw, traffic)
+                .config(SimConfig { seed, ..config })
+                .with_fault_plan(plan.clone())
                 .run()
         })
     }
@@ -281,12 +336,13 @@ mod tests {
         let g = chain(10.0);
         let hw = fast_hw();
         let t = TrafficProfile::fixed(Bandwidth::gbps(6.0), Bytes::new(1000));
-        let wide = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0));
+        let wide = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0)).unwrap();
         let narrow = Replication::new(6)
             .threads(1)
-            .run_sim(&g, &hw, &t, cfg(2.0));
+            .run_sim(&g, &hw, &t, cfg(2.0))
+            .unwrap();
         assert_eq!(wide, narrow, "thread schedule must not leak into results");
-        let again = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0));
+        let again = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0)).unwrap();
         assert_eq!(wide, again, "same seed set, same bits");
     }
 
@@ -295,13 +351,16 @@ mod tests {
         let g = chain(10.0);
         let hw = fast_hw();
         let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(800));
-        let rep = Replication::from_seeds(vec![3, 99]).run_sim(&g, &hw, &t, cfg(2.0));
+        let rep = Replication::from_seeds(vec![3, 99])
+            .run_sim(&g, &hw, &t, cfg(2.0))
+            .unwrap();
         let direct = Simulation::builder(&g, &hw, &t)
             .config(SimConfig {
                 seed: 99,
                 ..cfg(2.0)
             })
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(rep.reports[1], direct);
         assert_eq!(rep.seeds, vec![3, 99]);
         assert_eq!(rep.n(), 2);
@@ -312,7 +371,7 @@ mod tests {
         let g = chain(10.0);
         let hw = fast_hw();
         let t = TrafficProfile::fixed(Bandwidth::gbps(2.0), Bytes::new(1000));
-        let rep = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0));
+        let rep = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0)).unwrap();
         // Offered 2 Gb/s, no overload: the CI must cover it.
         assert!(
             rep.throughput_gbps.contains(2.0),
@@ -328,7 +387,7 @@ mod tests {
         let g = chain(10.0);
         let hw = fast_hw();
         let t = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
-        let rep = Replication::new(4).run_sim(&g, &hw, &t, cfg(2.0));
+        let rep = Replication::new(4).run_sim(&g, &hw, &t, cfg(2.0)).unwrap();
         let util = rep.summarize(|r| r.node("ip").unwrap().utilization);
         assert_eq!(util.n, 4);
         assert!(util.mean > 0.0 && util.mean < 1.0, "util {util}");

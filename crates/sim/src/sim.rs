@@ -10,12 +10,15 @@
 //! the egress.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use lognic_model::error::{LogNicError, LogNicResult};
+use lognic_model::fault::{FaultPlan, RetryPolicy};
 use lognic_model::graph::ExecutionGraph;
 use lognic_model::params::{HardwareModel, TrafficProfile};
 use lognic_model::units::{Bandwidth, Seconds};
 
+use crate::faults::{compile_kind, NodeFaults};
 use crate::medium::Medium;
 use crate::metrics::{ClassReport, LatencySummary, MediumReport, NodeReport, SimReport};
 use crate::packet::Packet;
@@ -45,6 +48,12 @@ pub struct SimConfig {
     /// expressed as time-ahead-of-now; transfers beyond it are dropped
     /// (finite buffering in front of a saturated interconnect).
     pub medium_backlog: Seconds,
+    /// Watchdog budget: the run aborts with a structured
+    /// [`LogNicError::WatchdogAbort`] after processing this many
+    /// events. `0` (the default) derives a generous bound from
+    /// `max_packets`, the graph size and the retry budget — large
+    /// enough that only a non-terminating run can hit it.
+    pub max_events: u64,
 }
 
 impl Default for SimConfig {
@@ -57,6 +66,7 @@ impl Default for SimConfig {
             service_dist: ServiceDist::Exponential,
             max_packets: 20_000_000,
             medium_backlog: Seconds::micros(50.0),
+            max_events: 0,
         }
     }
 }
@@ -115,11 +125,14 @@ impl QueueState {
 
     /// Tries to admit a waiting packet; `busy` is the number of
     /// occupied engines (relevant to the shared total-in-system
-    /// bound).
-    fn enqueue(&mut self, pkt: Packet, busy: u32) -> bool {
+    /// bound). `credit_penalty` removes credits from the shared bound
+    /// while a credit-loss fault window is active; WRR plans model
+    /// explicit per-queue buffers and are unaffected.
+    fn enqueue(&mut self, pkt: Packet, busy: u32, credit_penalty: u32) -> bool {
         match self {
             QueueState::Shared { queue, capacity } => {
-                if busy as usize + queue.len() >= *capacity as usize {
+                let effective = capacity.saturating_sub(credit_penalty).max(1);
+                if busy as usize + queue.len() >= effective as usize {
                     false
                 } else {
                     queue.push_back(pkt);
@@ -146,7 +159,7 @@ struct NodeRuntime {
     overhead: SimTime,
     work_factor: f64,
     busy_time: SimTime,
-    outage: Option<(SimTime, SimTime)>,
+    faults: NodeFaults,
     /// Time-weighted integral of requests in system (packet-seconds),
     /// accumulated up to the injection horizon.
     occupancy_integral: f64,
@@ -179,7 +192,8 @@ pub struct SimulationBuilder<'a> {
     overrides: Vec<(String, Box<dyn ServiceModel>)>,
     queue_plans: Vec<(String, QueuePlan)>,
     trace: Option<Trace>,
-    outages: Vec<(String, SimTime, SimTime)>,
+    outages: Vec<(String, Seconds, Seconds)>,
+    plan: FaultPlan,
 }
 
 impl std::fmt::Debug for SimulationBuilder<'_> {
@@ -255,21 +269,98 @@ impl<'a> SimulationBuilder<'a> {
     /// Injects a fault: the named node drops every arriving packet
     /// during `[from, until)` (engines crashed / firmware reset).
     /// Packets already in service complete normally.
+    ///
+    /// Shorthand for a [`FaultPlan`] holding one outage window; use
+    /// [`SimulationBuilder::with_fault_plan`] to compose richer fault
+    /// scenarios (rate degradation, drops, corruption, credit loss,
+    /// retry/backoff, deadlines).
     pub fn inject_outage(mut self, node_name: &str, from: Seconds, until: Seconds) -> Self {
-        self.outages.push((
-            node_name.to_owned(),
-            SimTime::from_secs(from.as_secs()),
-            SimTime::from_secs(until.as_secs()),
-        ));
+        self.outages.push((node_name.to_owned(), from, until));
         self
     }
 
+    /// Installs a composable fault-injection plan: scheduled fault
+    /// windows plus plan-wide retry/backoff and deadline semantics.
+    /// The plan is validated against the graph by
+    /// [`SimulationBuilder::build`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    fn validate(&self) -> LogNicResult<()> {
+        let cfg = &self.config;
+        if cfg.warmup.as_secs() > cfg.duration.as_secs() {
+            return Err(LogNicError::InvalidConfig {
+                reason: format!(
+                    "warmup {} exceeds the injection horizon {}",
+                    cfg.warmup, cfg.duration
+                ),
+            });
+        }
+        if cfg.max_packets == 0 {
+            return Err(LogNicError::InvalidConfig {
+                reason: "max_packets must be positive".into(),
+            });
+        }
+        for (name, _) in &self.overrides {
+            if self.graph.node_by_name(name).is_none() {
+                return Err(LogNicError::UnknownNode {
+                    context: "service override",
+                    node: name.clone(),
+                });
+            }
+        }
+        for (name, _) in &self.queue_plans {
+            if self.graph.node_by_name(name).is_none() {
+                return Err(LogNicError::UnknownNode {
+                    context: "queue plan",
+                    node: name.clone(),
+                });
+            }
+        }
+        for (name, from, until) in &self.outages {
+            if self.graph.node_by_name(name).is_none() {
+                return Err(LogNicError::UnknownNode {
+                    context: "outage",
+                    node: name.clone(),
+                });
+            }
+            if until.as_secs() <= from.as_secs() {
+                return Err(LogNicError::InvalidFaultWindow {
+                    node: name.clone(),
+                    from: from.as_secs(),
+                    until: until.as_secs(),
+                });
+            }
+        }
+        self.plan.validate(self.graph)?;
+        Ok(())
+    }
+
     /// Builds the simulation.
-    pub fn build(self) -> Simulation {
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LogNicError`] instead of panicking when the
+    /// inputs are malformed: a service override, queue plan, outage or
+    /// fault window naming a node absent from the graph; an empty or
+    /// inverted fault window; an out-of-range fault parameter; or an
+    /// unusable run configuration (warmup beyond the horizon, zero
+    /// packet budget).
+    pub fn build(self) -> LogNicResult<Simulation> {
+        self.validate()?;
         let cfg = self.config;
         let mut overrides = self.overrides;
         let queue_plans = self.queue_plans;
-        let outages = self.outages;
+        // Merge `inject_outage` shorthands and the fault plan into one
+        // per-node compiled schedule.
+        let mut plan = self.plan;
+        for (name, from, until) in self.outages {
+            plan = plan.outage(&name, from, until);
+        }
+        let retry = plan.retry().copied();
+        let deadline = plan.deadline().map(|d| SimTime::from_secs(d.as_secs()));
         let nodes: Vec<SimNode> = self
             .graph
             .nodes()
@@ -291,6 +382,14 @@ impl<'a> SimulationBuilder<'a> {
                             capacity: p.effective_queue_capacity(),
                         },
                     };
+                    let mut faults = NodeFaults::default();
+                    for w in plan.windows().iter().filter(|w| w.node() == n.name()) {
+                        faults.push(
+                            SimTime::from_secs(w.from().as_secs()),
+                            SimTime::from_secs(w.until().as_secs()),
+                            compile_kind(w.kind()),
+                        );
+                    }
                     NodeRuntime {
                         engines: p.parallelism(),
                         busy: 0,
@@ -299,10 +398,7 @@ impl<'a> SimulationBuilder<'a> {
                         overhead: SimTime::from_secs(p.overhead().as_secs()),
                         work_factor: p.work_factor(),
                         busy_time: SimTime::ZERO,
-                        outage: outages
-                            .iter()
-                            .find(|(name, _, _)| name == n.name())
-                            .map(|(_, from, until)| (*from, *until)),
+                        faults,
                         occupancy_integral: 0.0,
                         occupancy_last: SimTime::ZERO,
                     }
@@ -358,7 +454,19 @@ impl<'a> SimulationBuilder<'a> {
             }
         }
 
-        Simulation {
+        // Watchdog budget: explicit, or a generous structural bound —
+        // every packet visits each node at most once per attempt, each
+        // visit costs a handful of events, and retries multiply
+        // attempts by at most budget + 1.
+        let max_events = if cfg.max_events > 0 {
+            cfg.max_events
+        } else {
+            let attempts = retry.map(|r| r.budget() as u64 + 1).unwrap_or(1);
+            let per_packet = (n as u64 + 2).saturating_mul(4).saturating_mul(attempts);
+            cfg.max_packets.saturating_mul(per_packet).max(1_000)
+        };
+
+        Ok(Simulation {
             nodes,
             edges,
             out_edges,
@@ -374,12 +482,20 @@ impl<'a> SimulationBuilder<'a> {
             config: cfg,
             offered: self.traffic.ingress_bandwidth(),
             backlog_cap: SimTime::from_secs(cfg.medium_backlog.as_secs()),
-        }
+            retry,
+            deadline,
+            max_events,
+        })
     }
 
     /// Builds and runs the simulation.
-    pub fn run(self) -> SimReport {
-        self.build().run()
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationBuilder::build`] validation errors and
+    /// the watchdog abort of [`Simulation::run`].
+    pub fn run(self) -> LogNicResult<SimReport> {
+        self.build()?.run()
     }
 }
 
@@ -414,14 +530,14 @@ impl Source {
 /// use lognic_model::units::{Bandwidth, Bytes, Seconds};
 /// use lognic_sim::sim::Simulation;
 ///
-/// # fn main() -> Result<(), lognic_model::error::ModelError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let g = ExecutionGraph::chain("echo", &[("core", IpParams::new(Bandwidth::gbps(10.0)))])?;
 /// let hw = HardwareModel::default();
 /// let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1500));
 /// let report = Simulation::builder(&g, &hw, &t)
 ///     .duration(Seconds::millis(5.0))
 ///     .warmup(Seconds::millis(1.0))
-///     .run();
+///     .run()?;
 /// assert!(report.completed > 0);
 /// # Ok(())
 /// # }
@@ -439,6 +555,9 @@ pub struct Simulation {
     config: SimConfig,
     offered: Bandwidth,
     backlog_cap: SimTime,
+    retry: Option<RetryPolicy>,
+    deadline: Option<SimTime>,
+    max_events: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -458,7 +577,15 @@ struct RunState {
     total_injected: u64,
     completed: u64,
     completed_bytes_in_window: u64,
+    good_bytes_in_window: u64,
     dropped: u64,
+    retries: u64,
+    timed_out: u64,
+    corrupted: u64,
+    /// Retry attempts consumed per in-flight packet id; entries are
+    /// removed at the egress so the map only holds packets that have
+    /// actually been refused somewhere.
+    attempts: HashMap<u64, u32>,
     latencies: Vec<SimTime>,
     class_completed: Vec<u64>,
     class_bytes: Vec<u64>,
@@ -492,11 +619,18 @@ impl Simulation {
             queue_plans: Vec::new(),
             trace: None,
             outages: Vec::new(),
+            plan: FaultPlan::new(),
         }
     }
 
     /// Runs the simulation to completion and reports the measurements.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::WatchdogAbort`] with a structured
+    /// progress report when the run exceeds its event budget
+    /// ([`SimConfig::max_events`]) instead of hanging.
+    pub fn run(mut self) -> LogNicResult<SimReport> {
         let end = SimTime::from_secs(self.config.duration.as_secs());
         let warmup = SimTime::from_secs(self.config.warmup.as_secs());
         let mut st = RunState {
@@ -506,7 +640,12 @@ impl Simulation {
             total_injected: 0,
             completed: 0,
             completed_bytes_in_window: 0,
+            good_bytes_in_window: 0,
             dropped: 0,
+            retries: 0,
+            timed_out: 0,
+            corrupted: 0,
+            attempts: HashMap::new(),
             latencies: Vec::new(),
             class_completed: Vec::new(),
             class_bytes: Vec::new(),
@@ -529,7 +668,23 @@ impl Simulation {
             }
         }
 
+        let mut processed: u64 = 0;
         while let Some(Reverse(ev)) = st.events.pop() {
+            processed += 1;
+            if processed > self.max_events {
+                let in_flight: u64 = self
+                    .nodes
+                    .iter()
+                    .filter_map(|nd| nd.runtime.as_ref())
+                    .map(|rt| rt.busy as u64 + rt.queue.len() as u64)
+                    .sum();
+                return Err(LogNicError::WatchdogAbort {
+                    events: processed,
+                    sim_time: ev.time.as_secs(),
+                    injected: st.total_injected,
+                    in_flight,
+                });
+            }
             let now = ev.time;
             match ev.kind {
                 EventKind::Inject => {
@@ -566,7 +721,7 @@ impl Simulation {
             }
         }
 
-        self.report(end, warmup, st)
+        Ok(self.report(end, warmup, st))
     }
 
     /// Accumulates `node`'s in-system occupancy integral up to
@@ -584,46 +739,113 @@ impl Simulation {
     }
 
     /// Occupies one engine of `node` for `pkt`; returns the occupancy
-    /// span (service plus computation-transfer overhead).
+    /// span (service plus computation-transfer overhead). Active
+    /// rate-degradation windows stretch the service time by the
+    /// inverse of the degradation factor.
     fn start_service(&mut self, node: usize, now: SimTime, pkt: &Packet) -> SimTime {
         let rng = &mut self.rng;
         let rt = self.nodes[node].runtime.as_mut().expect("compute node");
         rt.busy += 1;
         let work = pkt.size.scaled(rt.work_factor);
-        let service = rt.service.service_time(now, pkt, work, rng);
+        let mut service = rt.service.service_time(now, pkt, work, rng);
+        if !rt.faults.is_empty() {
+            let factor = rt.faults.rate_factor_at(now);
+            if factor < 1.0 {
+                service = SimTime::from_secs(service.as_secs() / factor.max(1e-9));
+            }
+        }
         let occupancy = service + rt.overhead;
         rt.busy_time += occupancy;
         occupancy
     }
 
+    /// Handles a packet refused at `node` (outage, probabilistic drop
+    /// or queue overflow): re-presents it after exponential backoff
+    /// while retry budget remains, otherwise drops it.
+    fn fail(&mut self, node: usize, pkt: Packet, now: SimTime, warmup: SimTime, st: &mut RunState) {
+        if let Some(rp) = self.retry {
+            let attempts = st.attempts.entry(pkt.id).or_insert(0);
+            if *attempts < rp.budget() {
+                let backoff = SimTime::from_secs(rp.backoff_for(*attempts).as_secs());
+                *attempts += 1;
+                if pkt.injected_at >= warmup {
+                    st.retries += 1;
+                }
+                st.push(now + backoff, EventKind::Arrive { node, pkt });
+                return;
+            }
+            st.attempts.remove(&pkt.id);
+        }
+        self.nodes[node].drops += 1;
+        if pkt.injected_at >= warmup {
+            st.dropped += 1;
+        }
+    }
+
     fn arrive(
         &mut self,
         node: usize,
-        pkt: Packet,
+        mut pkt: Packet,
         now: SimTime,
         warmup: SimTime,
         end: SimTime,
         st: &mut RunState,
     ) {
         self.nodes[node].arrivals += 1;
+        // Deadline accounting: a packet whose sojourn (including
+        // retry backoffs) exceeds the plan-wide deadline is timed out
+        // wherever it is next observed, not served.
+        if let Some(deadline) = self.deadline {
+            if pkt.latency_at(now) > deadline {
+                self.nodes[node].drops += 1;
+                st.attempts.remove(&pkt.id);
+                if pkt.injected_at >= warmup {
+                    st.dropped += 1;
+                    st.timed_out += 1;
+                }
+                return;
+            }
+        }
         if self.nodes[node].runtime.is_none() {
             // Pure mover: forward immediately (the egress completes).
             self.forward(node, pkt, now, warmup, end, st);
             return;
         }
         self.touch_occupancy(node, now, end);
-        let (busy, engines, outage) = {
+        let (busy, engines, has_faults) = {
             let rt = self.nodes[node].runtime.as_ref().expect("compute node");
-            (rt.busy, rt.engines, rt.outage)
+            (rt.busy, rt.engines, !rt.faults.is_empty())
         };
-        if let Some((from, until)) = outage {
-            if now >= from && now < until {
-                self.nodes[node].drops += 1;
-                if pkt.injected_at >= warmup {
-                    st.dropped += 1;
-                }
+        let mut credit_penalty = 0;
+        if has_faults {
+            // Fault checks draw from the RNG only on nodes that
+            // actually schedule faults, so fault-free runs keep the
+            // exact RNG stream (and golden anchors) of plain builds.
+            let (is_out, drop_p, corrupt_p) = {
+                let rt = self.nodes[node].runtime.as_ref().expect("compute node");
+                (
+                    rt.faults.outage_at(now),
+                    rt.faults.drop_prob_at(now),
+                    rt.faults.corrupt_prob_at(now),
+                )
+            };
+            if is_out {
+                self.fail(node, pkt, now, warmup, st);
                 return;
             }
+            if drop_p > 0.0 && self.rng.uniform() < drop_p {
+                self.fail(node, pkt, now, warmup, st);
+                return;
+            }
+            if corrupt_p > 0.0 && self.rng.uniform() < corrupt_p {
+                pkt.corrupted = true;
+            }
+            credit_penalty = self.nodes[node]
+                .runtime
+                .as_ref()
+                .expect("compute node")
+                .faults
+                .credit_loss_at(now);
         }
         if busy < engines {
             let occupancy = self.start_service(node, now, &pkt);
@@ -632,7 +854,7 @@ impl Simulation {
         }
         let (admitted, depth) = {
             let rt = self.nodes[node].runtime.as_mut().expect("compute node");
-            let admitted = rt.queue.enqueue(pkt, busy);
+            let admitted = rt.queue.enqueue(pkt, busy, credit_penalty);
             (admitted, rt.queue.len())
         };
         if admitted {
@@ -640,10 +862,7 @@ impl Simulation {
                 self.nodes[node].max_queue = depth;
             }
         } else {
-            self.nodes[node].drops += 1;
-            if pkt.injected_at >= warmup {
-                st.dropped += 1;
-            }
+            self.fail(node, pkt, now, warmup, st);
         }
     }
 
@@ -658,14 +877,42 @@ impl Simulation {
     ) {
         self.nodes[node].served += 1;
         self.touch_occupancy(node, now, end);
-        let next = {
+        let deadline = self.deadline;
+        let (next, expired) = {
             let rt = self.nodes[node]
                 .runtime
                 .as_mut()
                 .expect("Done only on compute nodes");
             rt.busy -= 1;
-            rt.queue.dequeue()
+            // Head-of-line packets whose sojourn already exceeds the
+            // plan deadline are reaped instead of served — serving
+            // them would waste engine time on answers nobody waits
+            // for.
+            let mut expired: Vec<Packet> = Vec::new();
+            let next = loop {
+                match rt.queue.dequeue() {
+                    Some(p) => {
+                        if let Some(dl) = deadline {
+                            if p.latency_at(now) > dl {
+                                expired.push(p);
+                                continue;
+                            }
+                        }
+                        break Some(p);
+                    }
+                    None => break None,
+                }
+            };
+            (next, expired)
         };
+        for p in expired {
+            self.nodes[node].drops += 1;
+            st.attempts.remove(&p.id);
+            if p.injected_at >= warmup {
+                st.dropped += 1;
+                st.timed_out += 1;
+            }
+        }
         if let Some(next) = next {
             let occupancy = self.start_service(node, now, &next);
             st.push(now + occupancy, EventKind::Done { node, pkt: next });
@@ -683,8 +930,12 @@ impl Simulation {
         st: &mut RunState,
     ) {
         if node == self.egress {
+            st.attempts.remove(&pkt.id);
             if pkt.injected_at >= warmup {
                 st.completed += 1;
+                if pkt.corrupted {
+                    st.corrupted += 1;
+                }
                 let latency = pkt.latency_at(now);
                 st.latencies.push(latency);
                 let c = pkt.class as usize;
@@ -703,6 +954,9 @@ impl Simulation {
             // rates above hardware capacity.
             if now >= warmup && now <= end {
                 st.completed_bytes_in_window += pkt.size.get();
+                if !pkt.corrupted {
+                    st.good_bytes_in_window += pkt.size.get();
+                }
             }
             return;
         }
@@ -718,12 +972,14 @@ impl Simulation {
         // resized data is what crosses the media and what downstream
         // stages compute on.
         let pkt = if (edge.resize - 1.0).abs() > f64::EPSILON {
-            Packet::new(
+            let mut resized = Packet::new(
                 pkt.id,
                 pkt.size.scaled(edge.resize),
                 pkt.injected_at,
                 pkt.class,
-            )
+            );
+            resized.corrupted = pkt.corrupted;
+            resized
         } else {
             pkt
         };
@@ -758,7 +1014,11 @@ impl Simulation {
                 st.push(at, EventKind::Arrive { node: dst, pkt });
             }
             _ => {
-                // Medium starved or its buffering overflowed.
+                // Medium starved or its buffering overflowed. Media
+                // rejections are not retried — the packet never held
+                // node credits, and RX overflow under sustained
+                // overload would retry forever.
+                st.attempts.remove(&pkt.id);
                 self.nodes[node].drops += 1;
                 if pkt.injected_at >= warmup {
                     st.dropped += 1;
@@ -827,6 +1087,10 @@ impl Simulation {
             dropped: st.dropped,
             offered: self.offered,
             throughput: Bandwidth::bps(st.completed_bytes_in_window as f64 * 8.0 / secs),
+            goodput: Bandwidth::bps(st.good_bytes_in_window as f64 * 8.0 / secs),
+            retries: st.retries,
+            timed_out: st.timed_out,
+            corrupted: st.corrupted,
             packet_rate: st.completed as f64 / secs,
             latency: LatencySummary::from_samples(st.latencies),
             classes,
@@ -862,6 +1126,7 @@ mod tests {
             .duration(Seconds::millis(10.0))
             .warmup(Seconds::millis(2.0))
             .run()
+            .unwrap()
     }
 
     #[test]
@@ -900,8 +1165,14 @@ mod tests {
     fn different_seed_differs() {
         let g = chain(5.0, 16);
         let t = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(512));
-        let a = Simulation::builder(&g, &fast_hw(), &t).seed(1).run();
-        let b = Simulation::builder(&g, &fast_hw(), &t).seed(2).run();
+        let a = Simulation::builder(&g, &fast_hw(), &t)
+            .seed(1)
+            .run()
+            .unwrap();
+        let b = Simulation::builder(&g, &fast_hw(), &t)
+            .seed(2)
+            .run()
+            .unwrap();
         assert_ne!(a.latency.mean, b.latency.mean);
     }
 
@@ -912,7 +1183,8 @@ mod tests {
         let r = Simulation::builder(&g, &fast_hw(), &t)
             .duration(Seconds::millis(5.0))
             .warmup(Seconds::ZERO)
-            .run();
+            .run()
+            .unwrap();
         // With zero warmup and full drain, every injected packet either
         // completed or was dropped.
         assert_eq!(r.injected, r.completed + r.dropped);
@@ -1021,7 +1293,8 @@ mod tests {
             .service_dist(ServiceDist::Deterministic)
             .duration(Seconds::millis(5.0))
             .warmup(Seconds::millis(1.0))
-            .run();
+            .run()
+            .unwrap();
         // With pacing at 50% load there is no queueing at all: every
         // packet sees the same latency.
         assert!(r.latency.max.as_secs() - r.latency.p50.as_secs() < 1e-9);
@@ -1091,7 +1364,8 @@ mod tests {
             .duration(Seconds::millis(10.0))
             .warmup(Seconds::millis(2.0))
             .override_queues("ip", plan)
-            .run();
+            .run()
+            .unwrap();
         // The node is overloaded (8 > 5 Gb/s): drops happen, but the
         // victim's share of completions stays near its 20% offered
         // share because the WRR scheduler serves both queues equally
@@ -1136,7 +1410,8 @@ mod tests {
             .duration(Seconds::millis(10.0))
             .warmup(Seconds::millis(2.0))
             .override_queues("ip", plan)
-            .run();
+            .run()
+            .unwrap();
         assert!(
             (r.throughput.as_gbps() - 4.0).abs() / 4.0 < 0.08,
             "{}",
@@ -1162,7 +1437,8 @@ mod tests {
             .with_trace(trace)
             .duration(Seconds::millis(2.0))
             .warmup(Seconds::ZERO)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.injected, 1000);
         assert_eq!(r.dropped, 0);
         assert!(
@@ -1181,7 +1457,8 @@ mod tests {
             .with_trace(Trace::default())
             .duration(Seconds::millis(1.0))
             .warmup(Seconds::ZERO)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.injected, 0);
         assert_eq!(r.completed, 0);
     }
@@ -1193,12 +1470,14 @@ mod tests {
         let healthy = Simulation::builder(&g, &fast_hw(), &t)
             .duration(Seconds::millis(10.0))
             .warmup(Seconds::ZERO)
-            .run();
+            .run()
+            .unwrap();
         let faulty = Simulation::builder(&g, &fast_hw(), &t)
             .duration(Seconds::millis(10.0))
             .warmup(Seconds::ZERO)
             .inject_outage("ip", Seconds::millis(2.0), Seconds::millis(6.0))
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(healthy.dropped, 0);
         // The 4 ms outage kills ~40% of the packets.
         let loss = faulty.loss_rate();
@@ -1215,7 +1494,8 @@ mod tests {
             .duration(Seconds::millis(5.0))
             .warmup(Seconds::ZERO)
             .inject_outage("ip", Seconds::millis(50.0), Seconds::millis(60.0))
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(r.dropped, 0);
     }
 
@@ -1226,7 +1506,299 @@ mod tests {
         let t = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(64));
         let b = Simulation::builder(&g, &hw, &t).config(SimConfig::default());
         assert!(format!("{b:?}").contains("SimulationBuilder"));
-        let sim = b.build();
+        let sim = b.build().unwrap();
         assert!(format!("{sim:?}").contains("Simulation"));
+    }
+
+    #[test]
+    fn retry_recovers_outage_refusals() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let plan = FaultPlan::new()
+            .outage("ip", Seconds::millis(2.0), Seconds::millis(3.0))
+            .with_retry(RetryPolicy::new(8, Seconds::micros(200.0)));
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::ZERO)
+            .with_fault_plan(plan)
+            .run()
+            .unwrap();
+        // A 1 ms outage refuses ~10 % of arrivals, but exponential
+        // backoff (200 µs base) re-submits them past the window: with
+        // a budget of 8 the longest cumulative backoff is ~51 ms, so
+        // essentially every refused packet eventually lands.
+        assert!(r.retries > 0, "outage must trigger retries");
+        assert!(
+            r.loss_rate() < 0.01,
+            "retries should recover the outage: loss {} retries {}",
+            r.loss_rate(),
+            r.retries
+        );
+        assert_eq!(r.injected, r.completed + r.dropped, "conservation");
+    }
+
+    #[test]
+    fn zero_budget_matches_plain_outage() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let run_with = |plan: FaultPlan| {
+            Simulation::builder(&g, &fast_hw(), &t)
+                .duration(Seconds::millis(10.0))
+                .warmup(Seconds::ZERO)
+                .with_fault_plan(plan)
+                .run()
+                .unwrap()
+        };
+        let outage = FaultPlan::new().outage("ip", Seconds::millis(2.0), Seconds::millis(6.0));
+        let plain = run_with(outage.clone());
+        let zero_budget = run_with(outage.with_retry(RetryPolicy::new(0, Seconds::micros(100.0))));
+        assert_eq!(plain.dropped, zero_budget.dropped);
+        assert_eq!(zero_budget.retries, 0);
+    }
+
+    #[test]
+    fn rate_degradation_throttles_the_node() {
+        let g = chain(10.0, 8);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(8.0), Bytes::new(1000));
+        let horizon = Seconds::millis(20.0);
+        let plan = FaultPlan::new().degrade_rate("ip", 0.25, Seconds::ZERO, horizon);
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(horizon)
+            .warmup(Seconds::millis(4.0))
+            .with_fault_plan(plan)
+            .run()
+            .unwrap();
+        // Serving at 25 % of 10 Gb/s caps delivery near 2.5 Gb/s; the
+        // short queue sheds the rest.
+        assert!(
+            (r.throughput.as_gbps() - 2.5).abs() < 0.4,
+            "degraded throughput {}",
+            r.throughput
+        );
+        assert!(r.loss_rate() > 0.5, "overload must shed load");
+    }
+
+    #[test]
+    fn packet_drop_probability_is_respected() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(2.0), Bytes::new(1000));
+        let horizon = Seconds::millis(20.0);
+        let plan = FaultPlan::new().drop_packets("ip", 0.3, Seconds::ZERO, horizon);
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(horizon)
+            .warmup(Seconds::ZERO)
+            .with_fault_plan(plan)
+            .run()
+            .unwrap();
+        let loss = r.loss_rate();
+        assert!((loss - 0.3).abs() < 0.03, "loss {loss} should be ~0.3");
+    }
+
+    #[test]
+    fn corruption_reduces_goodput_not_throughput() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(2.0), Bytes::new(1000));
+        let horizon = Seconds::millis(20.0);
+        let plan = FaultPlan::new().corrupt_packets("ip", 0.5, Seconds::ZERO, horizon);
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(horizon)
+            .warmup(Seconds::ZERO)
+            .with_fault_plan(plan)
+            .run()
+            .unwrap();
+        assert_eq!(r.dropped, 0, "corruption does not drop packets");
+        assert!(r.corrupted > 0);
+        let ratio = r.goodput.as_bps() / r.throughput.as_bps();
+        assert!((ratio - 0.5).abs() < 0.05, "goodput ratio {ratio}");
+    }
+
+    #[test]
+    fn credit_loss_shrinks_the_queue() {
+        let g = chain(10.0, 32);
+        // Push hard so the queue bound is what matters.
+        let t = TrafficProfile::fixed(Bandwidth::gbps(12.0), Bytes::new(1000));
+        let horizon = Seconds::millis(10.0);
+        let run_with = |plan: FaultPlan| {
+            Simulation::builder(&g, &fast_hw(), &t)
+                .duration(horizon)
+                .warmup(Seconds::ZERO)
+                .with_fault_plan(plan)
+                .run()
+                .unwrap()
+        };
+        let full = run_with(FaultPlan::new());
+        let starved = run_with(FaultPlan::new().lose_credits("ip", 28, Seconds::ZERO, horizon));
+        assert!(
+            starved.node("ip").unwrap().max_queue < full.node("ip").unwrap().max_queue,
+            "lost credits must cap the backlog: {} vs {}",
+            starved.node("ip").unwrap().max_queue,
+            full.node("ip").unwrap().max_queue
+        );
+        assert!(starved.dropped > full.dropped);
+    }
+
+    #[test]
+    fn deadline_times_out_backlogged_packets() {
+        // 1-wide queue at heavy overload: sojourns grow until the
+        // deadline reaps them.
+        let g = chain(2.0, 256);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
+        let plan = FaultPlan::new().with_deadline(Seconds::micros(30.0));
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::ZERO)
+            .with_fault_plan(plan)
+            .run()
+            .unwrap();
+        assert!(r.timed_out > 0, "overload must breach a 30 µs deadline");
+        assert!(r.timed_out <= r.dropped, "timeouts are a kind of drop");
+        // A packet passes the deadline gate at dequeue and then holds
+        // an engine for one (exponential) service draw, so completed
+        // latency is bounded by deadline + the service tail — far
+        // below the ~1 ms head-of-line delay of a full 256-deep queue.
+        assert!(
+            r.latency.max.as_micros() <= 150.0,
+            "deadline must bound completed sojourns: {}",
+            r.latency.max
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let run_seeded = |seed: u64| {
+            let plan = FaultPlan::new()
+                .outage("ip", Seconds::millis(1.0), Seconds::millis(2.0))
+                .drop_packets("ip", 0.1, Seconds::millis(3.0), Seconds::millis(5.0))
+                .corrupt_packets("ip", 0.1, Seconds::millis(5.0), Seconds::millis(7.0))
+                .with_retry(RetryPolicy::new(3, Seconds::micros(50.0)));
+            Simulation::builder(&g, &fast_hw(), &t)
+                .seed(seed)
+                .duration(Seconds::millis(8.0))
+                .warmup(Seconds::ZERO)
+                .with_fault_plan(plan)
+                .run()
+                .unwrap()
+        };
+        assert_eq!(run_seeded(7), run_seeded(7), "same seed, same bits");
+        assert_ne!(run_seeded(7), run_seeded(8), "fault draws follow the seed");
+    }
+
+    #[test]
+    fn fault_free_plan_preserves_the_rng_stream() {
+        // Installing an *empty* plan (or one with a retry policy but
+        // no windows) must not perturb the event sequence.
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let plain = Simulation::builder(&g, &fast_hw(), &t)
+            .seed(3)
+            .duration(Seconds::millis(5.0))
+            .warmup(Seconds::ZERO)
+            .run()
+            .unwrap();
+        let with_empty_plan = Simulation::builder(&g, &fast_hw(), &t)
+            .seed(3)
+            .duration(Seconds::millis(5.0))
+            .warmup(Seconds::ZERO)
+            .with_fault_plan(
+                FaultPlan::new().with_retry(RetryPolicy::new(4, Seconds::micros(10.0))),
+            )
+            .run()
+            .unwrap();
+        assert_eq!(plain, with_empty_plan);
+    }
+
+    #[test]
+    fn watchdog_aborts_with_a_structured_report() {
+        let g = chain(10.0, 64);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let err = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .config(SimConfig {
+                max_events: 50,
+                duration: Seconds::millis(10.0),
+                warmup: Seconds::ZERO,
+                ..SimConfig::default()
+            })
+            .run()
+            .unwrap_err();
+        match err {
+            LogNicError::WatchdogAbort {
+                events, injected, ..
+            } => {
+                assert_eq!(events, 51, "aborts on the first event past the budget");
+                assert!(injected > 0);
+            }
+            other => panic!("expected WatchdogAbort, got {other}"),
+        }
+    }
+
+    #[test]
+    fn build_rejects_malformed_inputs_with_typed_errors() {
+        let g = chain(10.0, 64);
+        let hw = fast_hw();
+        let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
+        let base = || Simulation::builder(&g, &hw, &t);
+
+        let err = base()
+            .inject_outage("ghost", Seconds::ZERO, Seconds::millis(1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LogNicError::UnknownNode { .. }), "{err}");
+
+        let err = base()
+            .inject_outage("ip", Seconds::millis(2.0), Seconds::millis(1.0))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, LogNicError::InvalidFaultWindow { .. }),
+            "{err}"
+        );
+
+        let err = base()
+            .with_fault_plan(FaultPlan::new().drop_packets(
+                "ip",
+                1.5,
+                Seconds::ZERO,
+                Seconds::millis(1.0),
+            ))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, LogNicError::InvalidFaultParameter { .. }),
+            "{err}"
+        );
+
+        let err = base()
+            .override_service(
+                "ghost",
+                Box::new(RateService::new(
+                    Bandwidth::gbps(1.0),
+                    ServiceDist::Exponential,
+                )),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LogNicError::UnknownNode { .. }), "{err}");
+
+        let err = base()
+            .config(SimConfig {
+                warmup: Seconds::millis(10.0),
+                duration: Seconds::millis(1.0),
+                ..SimConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LogNicError::InvalidConfig { .. }), "{err}");
+
+        let err = base()
+            .config(SimConfig {
+                max_packets: 0,
+                ..SimConfig::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LogNicError::InvalidConfig { .. }), "{err}");
     }
 }

@@ -16,10 +16,14 @@
 //! * [`panic_scenarios`] — PANIC hardware design exploration (§4.6,
 //!   Figs. 15–19);
 //! * [`switch_kv`] — the §5.3 future-work extension: a programmable
-//!   RMT switch running a NetCache-style in-network KV cache.
+//!   RMT switch running a NetCache-style in-network KV cache;
+//! * [`chaos`] — the robustness counterpart: the inline-acceleration
+//!   pipeline under an accelerator brownout with retry/backoff
+//!   recovery, driving the chaos-sweep experiment.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod compression;
 pub mod inline_accel;
 pub mod microservices;

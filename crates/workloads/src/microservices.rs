@@ -596,7 +596,8 @@ mod tests {
         };
         let r = Simulation::builder(&g, &LiquidIo::hardware(), &t)
             .config(cfg)
-            .run();
+            .run()
+            .expect("valid scenario");
         let rps = r.throughput.as_bps() / REQUEST_SIZE.bits() as f64;
         assert!(
             (rps - offered).abs() / offered < 0.06,

@@ -111,6 +111,7 @@ pub fn simulate_with_ssd(
             Box::new(profile.service_model(ServiceDist::Exponential, gc)),
         )
         .run()
+        .expect("nvmeof scenarios are valid by construction")
 }
 
 /// The offered wire rate corresponding to `iops` I/Os of the pattern's
@@ -145,7 +146,8 @@ pub fn characterize_ssd(pattern: IoPattern, fractions: &[f64], seed: u64) -> Vec
                     "ssd",
                     Box::new(profile.service_model(ServiceDist::Exponential, false)),
                 )
-                .run();
+                .run()
+                .expect("ssd characterization graphs are valid by construction");
         let delivered_iops = report.throughput.as_bps() / pattern.granularity().bits() as f64;
         out.push((delivered_iops, report.latency.mean));
     }

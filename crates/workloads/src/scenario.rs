@@ -2,7 +2,7 @@
 //! drives both the analytical estimate and the simulation, and pairs
 //! the two results for validation.
 
-use lognic_model::error::Result;
+use lognic_model::error::{LogNicResult, Result};
 use lognic_model::estimate::{Estimate, Estimator};
 use lognic_model::graph::ExecutionGraph;
 use lognic_model::params::{HardwareModel, TrafficProfile};
@@ -61,7 +61,26 @@ impl Scenario {
     }
 
     /// Runs the simulator with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario description is invalid; scenarios built
+    /// by this crate's constructors always are valid. Use
+    /// [`Scenario::try_simulate`] to handle the error instead.
     pub fn simulate(&self, config: SimConfig) -> SimReport {
+        self.try_simulate(config)
+            .expect("workload scenarios are valid by construction")
+    }
+
+    /// Runs the simulator with the given configuration, propagating
+    /// configuration errors instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`lognic_model::error::LogNicError`]
+    /// when the scenario or configuration is rejected, or when the
+    /// run trips the event watchdog.
+    pub fn try_simulate(&self, config: SimConfig) -> LogNicResult<SimReport> {
         Simulation::builder(&self.graph, &self.hardware, &self.traffic)
             .config(config)
             .run()

@@ -1,0 +1,66 @@
+//! Chaos fault injection: an accelerator brownout (full outage, then
+//! thermal throttling) hits the inline-acceleration pipeline mid-run
+//! while NIC cores retry refused packets with exponential backoff.
+//! The same plan feeds the model's availability-adjusted estimate,
+//! and the run is bit-deterministic per seed.
+//!
+//! ```console
+//! $ cargo run --release --example chaos_fault_injection
+//! ```
+use lognic::model::prelude::*;
+use lognic::sim::sim::SimConfig;
+use lognic::workloads::chaos::{accelerator_brownout, duty_cycle_sweep};
+
+fn main() -> LogNicResult<()> {
+    let rate = Bandwidth::gbps(8.0);
+    let cfg = SimConfig {
+        duration: Seconds::millis(20.0),
+        warmup: Seconds::millis(2.0),
+        ..SimConfig::default()
+    };
+
+    // One brownout: dark for 1 ms at t = 4 ms, throttled to 30 % for
+    // the following 2 ms, 6 retries with 50 µs base backoff.
+    let chaos = accelerator_brownout(
+        rate,
+        Seconds::millis(4.0),
+        Seconds::millis(1.0),
+        Seconds::millis(2.0),
+    );
+    let report = chaos.simulate(cfg)?;
+    let again = chaos.simulate(cfg)?;
+
+    println!("=== accelerator brownout (outage 1 ms + throttle 2 ms) ===");
+    println!("offered          = {}", report.offered);
+    println!("delivered        = {}", report.throughput);
+    println!("loss rate        = {:.4}", report.loss_rate());
+    println!("retries          = {}", report.retries);
+    println!("p99 latency      = {}", report.latency.p99);
+    println!("deterministic    = {}", report == again);
+
+    // The model's availability-adjusted view of the same plan.
+    let est = Estimator::new(
+        &chaos.scenario.graph,
+        &chaos.scenario.hardware,
+        &chaos.scenario.traffic,
+    )
+    .estimate_degraded(&chaos.plan, cfg.duration)?;
+    println!("model availability    = {:.4}", est.availability);
+    println!("model retry inflation = {:.4}", est.retry_inflation);
+    println!("model goodput         = {}", est.goodput);
+
+    // The chaos sweep: outage duty cycle vs tail latency and loss.
+    println!();
+    println!("=== duty-cycle sweep ===");
+    println!("duty   p99           loss     retries");
+    for p in duty_cycle_sweep(rate, &[0.0, 0.1, 0.25, 0.5], cfg)? {
+        println!(
+            "{:<6} {:<13} {:<8.4} {}",
+            p.duty_cycle,
+            p.p99.to_string(),
+            p.loss_rate,
+            p.retries
+        );
+    }
+    Ok(())
+}

@@ -7,7 +7,7 @@
 use lognic::model::prelude::*;
 use lognic::sim::prelude::*;
 
-fn main() -> lognic::model::error::Result<()> {
+fn main() -> lognic::model::error::LogNicResult<()> {
     // 1. Describe the program as an execution graph: packets flow
     //    ingress → NIC cores → crypto engine → egress.
     let mut b = ExecutionGraph::builder("udp-echo-md5");
@@ -57,7 +57,7 @@ fn main() -> lognic::model::error::Result<()> {
         .seed(42)
         .duration(Seconds::millis(20.0))
         .warmup(Seconds::millis(4.0))
-        .run();
+        .run()?;
     println!();
     println!("simulated throughput  : {}", report.throughput);
     println!("simulated mean latency: {}", report.latency.mean);

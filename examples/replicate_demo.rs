@@ -25,8 +25,13 @@ fn main() {
         warmup: Seconds::millis(2.0),
         ..SimConfig::default()
     };
-    let a = Replication::new(8).run_sim(&g, &hw, &t, cfg);
-    let b = Replication::new(8).threads(1).run_sim(&g, &hw, &t, cfg);
+    let a = Replication::new(8)
+        .run_sim(&g, &hw, &t, cfg)
+        .expect("valid scenario");
+    let b = Replication::new(8)
+        .threads(1)
+        .run_sim(&g, &hw, &t, cfg)
+        .expect("valid scenario");
     println!("seeds            = {:x?}", &a.seeds[..3]);
     println!("latency mean     = {}", a.latency_mean);
     println!("latency p99      = {}", a.latency_p99);

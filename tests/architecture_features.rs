@@ -31,6 +31,7 @@ fn run(g: &ExecutionGraph, t: &TrafficProfile, seed: u64) -> SimReport {
         .duration(Seconds::millis(30.0))
         .warmup(Seconds::millis(6.0))
         .run()
+        .expect("valid scenario")
 }
 
 #[test]
@@ -121,7 +122,8 @@ fn wrr_queues_isolate_a_flooding_tenant() {
         .duration(Seconds::millis(30.0))
         .warmup(Seconds::millis(6.0))
         .override_queues("cores", plan)
-        .run();
+        .run()
+        .expect("valid scenario");
     // The node is overloaded; equal WRR splits its 5 Gb/s roughly in
     // half, so the victim's 1.8 Gb/s demand is fully served while the
     // aggressor is clipped.
@@ -158,12 +160,14 @@ fn trace_replay_matches_synthetic_statistics() {
         .with_trace(trace)
         .duration(Seconds::millis(15.0))
         .warmup(Seconds::millis(3.0))
-        .run();
+        .run()
+        .expect("valid scenario");
     let paced = Simulation::builder(&g, &hw(), &t)
         .arrival(ArrivalProcess::Paced)
         .duration(Seconds::millis(15.0))
         .warmup(Seconds::millis(3.0))
-        .run();
+        .run()
+        .expect("valid scenario");
     let err =
         (replay.throughput.as_bps() - paced.throughput.as_bps()).abs() / paced.throughput.as_bps();
     assert!(

@@ -18,6 +18,7 @@ fn run(graph: &ExecutionGraph, hw: &HardwareModel, t: &TrafficProfile, seed: u64
         .duration(Seconds::millis(60.0))
         .warmup(Seconds::millis(12.0))
         .run()
+        .expect("valid scenario")
 }
 
 #[test]
@@ -44,7 +45,9 @@ fn mm1_latency_agreement_across_loads() {
     for load in [0.3, 0.5, 0.7, 0.85] {
         let t = TrafficProfile::fixed(Bandwidth::gbps(10.0 * load), Bytes::new(1250));
         let model = estimate_latency(&g, &hw(), &t).unwrap().mean().as_secs();
-        let rep = Replication::new(12).run_sim(&g, &hw(), &t, cfg);
+        let rep = Replication::new(12)
+            .run_sim(&g, &hw(), &t, cfg)
+            .expect("valid scenario");
         assert!(
             rep.latency_mean.contains(model),
             "load {load}: model {model} outside replicated 95% CI {}",
@@ -242,7 +245,8 @@ fn mean_occupancy_matches_closed_form() {
             .seed(19)
             .duration(Seconds::millis(80.0))
             .warmup(Seconds::ZERO)
-            .run();
+            .run()
+            .expect("valid scenario");
         let measured = r.node("ip").unwrap().mean_occupancy;
         let expected = MmcN::new(rho, engines, 128).unwrap().mean_occupancy();
         let err = (measured - expected).abs() / expected;
@@ -270,11 +274,13 @@ fn deterministic_service_beats_exponential_latency() {
         .duration(Seconds::millis(40.0))
         .warmup(Seconds::millis(8.0))
         .service_dist(ServiceDist::Exponential)
-        .run();
+        .run()
+        .expect("valid scenario");
     let det = Simulation::builder(&g, &hw(), &t)
         .duration(Seconds::millis(40.0))
         .warmup(Seconds::millis(8.0))
         .service_dist(ServiceDist::Deterministic)
-        .run();
+        .run()
+        .expect("valid scenario");
     assert!(det.latency.mean < exp.latency.mean);
 }

@@ -284,7 +284,8 @@ mod sim_properties {
                     .seed(seed)
                     .duration(Seconds::millis(10.0))
                     .warmup(Seconds::ZERO)
-                    .run();
+                    .run()
+                    .expect("valid scenario");
                 // Conservation: with zero warmup and a full drain, every
                 // injected packet completed or dropped.
                 ensure!(
@@ -324,6 +325,7 @@ mod sim_properties {
                     .duration(Seconds::millis(5.0))
                     .warmup(Seconds::millis(1.0))
                     .run()
+                    .expect("valid scenario")
             };
             ensure!(run() == run(), "seed {seed} not reproducible");
             Ok(())

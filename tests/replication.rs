@@ -38,13 +38,18 @@ fn same_seed_set_gives_bit_identical_aggregates() {
     let g = mm1_chain(64);
     let hw = hw();
     let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
-    let first = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0));
-    let second = Replication::new(8).run_sim(&g, &hw, &t, cfg(4.0));
+    let first = Replication::new(8)
+        .run_sim(&g, &hw, &t, cfg(4.0))
+        .expect("valid scenario");
+    let second = Replication::new(8)
+        .run_sim(&g, &hw, &t, cfg(4.0))
+        .expect("valid scenario");
     assert_eq!(first, second, "replication must be invocation-stable");
     // And independent of the worker-thread count.
     let serial = Replication::new(8)
         .threads(1)
-        .run_sim(&g, &hw, &t, cfg(4.0));
+        .run_sim(&g, &hw, &t, cfg(4.0))
+        .expect("valid scenario");
     assert_eq!(first, serial, "thread schedule must not leak into bits");
 }
 
@@ -54,8 +59,12 @@ fn different_base_seeds_give_different_samples() {
     let g = mm1_chain(64);
     let hw = hw();
     let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
-    let a = Replication::with_base_seed(1, 4).run_sim(&g, &hw, &t, cfg(2.0));
-    let b = Replication::with_base_seed(2, 4).run_sim(&g, &hw, &t, cfg(2.0));
+    let a = Replication::with_base_seed(1, 4)
+        .run_sim(&g, &hw, &t, cfg(2.0))
+        .expect("valid scenario");
+    let b = Replication::with_base_seed(2, 4)
+        .run_sim(&g, &hw, &t, cfg(2.0))
+        .expect("valid scenario");
     assert_ne!(
         a.latency_mean.mean, b.latency_mean.mean,
         "different seeds must not collide"
@@ -70,8 +79,12 @@ fn confidence_interval_shrinks_with_more_replicas() {
     let g = mm1_chain(64);
     let hw = hw();
     let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
-    let small = Replication::new(4).run_sim(&g, &hw, &t, cfg(3.0));
-    let large = Replication::new(16).run_sim(&g, &hw, &t, cfg(3.0));
+    let small = Replication::new(4)
+        .run_sim(&g, &hw, &t, cfg(3.0))
+        .expect("valid scenario");
+    let large = Replication::new(16)
+        .run_sim(&g, &hw, &t, cfg(3.0))
+        .expect("valid scenario");
     let hw_small = small.latency_mean.half_width();
     let hw_large = large.latency_mean.half_width();
     assert!(
@@ -96,7 +109,9 @@ fn replicated_ci_brackets_analytical_mean_latency() {
     // Runs must be long enough that the residual finite-horizon bias
     // (in-flight packets at the cut-off are unobserved) stays well
     // inside the across-seed noise; 40 ms ≈ 19k packets per replica.
-    let rep = Replication::new(12).run_sim(&g, &hw, &t, cfg(40.0));
+    let rep = Replication::new(12)
+        .run_sim(&g, &hw, &t, cfg(40.0))
+        .expect("valid scenario");
     assert!(
         rep.latency_mean.contains(model),
         "model {model} outside {}",
@@ -110,7 +125,9 @@ fn summarize_custom_metric_is_deterministic() {
     let g = mm1_chain(64);
     let hw = hw();
     let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1000));
-    let rep = Replication::new(6).run_sim(&g, &hw, &t, cfg(2.0));
+    let rep = Replication::new(6)
+        .run_sim(&g, &hw, &t, cfg(2.0))
+        .expect("valid scenario");
     let util_a = rep.summarize(|r| r.node("ip").unwrap().utilization);
     let util_b = rep.summarize(|r| r.node("ip").unwrap().utilization);
     assert_eq!(util_a, util_b);
