@@ -1,0 +1,441 @@
+//! The tracked simulator-performance baseline.
+//!
+//! Runs three representative workloads (microservices, NVMe-oF,
+//! accelerator-brownout chaos) under **both** scheduler engines — the
+//! calendar queue and the retained binary-heap reference — and records
+//! events/sec, wall time and steady-state allocations-per-event into
+//! `BENCH_sim.json`. CI replays the same measurements and fails when
+//! events/sec regresses by more than 25 % against the committed
+//! baseline (`--check`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p lognic-bench --bin perf_baseline            # write BENCH_sim.json
+//! cargo run --release -p lognic-bench --bin perf_baseline -- --check # compare, no write
+//! cargo run --release -p lognic-bench --bin perf_baseline -- --out /tmp/b.json
+//! ```
+//!
+//! Allocations are counted by a wrapping `#[global_allocator]`; the
+//! per-event figure is a *delta between two run lengths* of the same
+//! scenario, so one-time costs (graph build, wheel/bucket tables,
+//! report assembly) cancel and the number isolates the steady-state
+//! hot loop. The zero-alloc acceptance test lives in
+//! `tests/zero_alloc.rs`; this binary records the same metric for
+//! trend tracking.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use lognic_model::units::{Bandwidth, Seconds};
+use lognic_sim::calendar::CalendarQueue;
+use lognic_sim::prelude::*;
+use lognic_sim::sim::Engine;
+use lognic_workloads::chaos::accelerator_brownout;
+use lognic_workloads::microservices::{scenario, AllocationScheme, App};
+use lognic_workloads::nvmeof::nvmeof;
+use lognic_workloads::scenario::Scenario;
+
+/// A pass-through allocator that counts every allocation. Wrapping the
+/// system allocator costs two relaxed atomic increments per call —
+/// negligible next to the allocation itself, and exactly zero in an
+/// allocation-free hot loop.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One workload under one engine.
+struct Case {
+    name: &'static str,
+    engine: Engine,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+struct Workload {
+    name: &'static str,
+    scenario: Scenario,
+    plan: Option<FaultPlan>,
+    millis: f64,
+}
+
+fn workloads() -> Vec<Workload> {
+    let chaos = accelerator_brownout(
+        Bandwidth::gbps(8.0),
+        Seconds::millis(4.0),
+        Seconds::millis(2.0),
+        Seconds::millis(3.0),
+    );
+    vec![
+        Workload {
+            name: "microservices",
+            scenario: scenario(App::NfvFin, AllocationScheme::RoundRobin, 2.0e6),
+            plan: None,
+            millis: 60.0,
+        },
+        Workload {
+            name: "nvmeof",
+            scenario: nvmeof(
+                lognic_devices::stingray::IoPattern::RandRead4k,
+                Bandwidth::gbps(5.0),
+            ),
+            plan: None,
+            millis: 60.0,
+        },
+        Workload {
+            name: "chaos",
+            scenario: chaos.scenario,
+            plan: Some(chaos.plan),
+            millis: 40.0,
+        },
+    ]
+}
+
+fn cfg(engine: Engine, millis: f64) -> SimConfig {
+    SimConfig {
+        seed: 42,
+        duration: Seconds::millis(millis),
+        warmup: Seconds::millis(millis * 0.2),
+        engine,
+        ..SimConfig::default()
+    }
+}
+
+fn run_once(w: &Workload, engine: Engine, millis: f64) -> (SimReport, f64) {
+    let mut b = Simulation::builder(&w.scenario.graph, &w.scenario.hardware, &w.scenario.traffic)
+        .config(cfg(engine, millis));
+    if let Some(plan) = &w.plan {
+        b = b.with_fault_plan(plan.clone());
+    }
+    let sim = b.build().expect("workload scenarios are valid");
+    let start = Instant::now();
+    let report = sim.run().expect("bench runs stay under the watchdog");
+    (report, start.elapsed().as_secs_f64())
+}
+
+fn measure(w: &Workload, engine: Engine) -> Case {
+    // Steady-state allocations: delta between a full and a half run of
+    // the same scenario — build/report transients cancel.
+    let (half, _) = run_once(w, engine, w.millis * 0.5);
+    let a0 = allocs_now();
+    let (full_for_allocs, _) = run_once(w, engine, w.millis);
+    let a1 = allocs_now();
+    let half_allocs_start = allocs_now();
+    let (_, _) = run_once(w, engine, w.millis * 0.5);
+    let half_allocs = allocs_now() - half_allocs_start;
+    let delta_allocs = (a1 - a0).saturating_sub(half_allocs);
+    let delta_events = full_for_allocs.events.saturating_sub(half.events).max(1);
+    let allocs_per_event = delta_allocs as f64 / delta_events as f64;
+
+    // Wall time: best of three full runs (min filters scheduler noise).
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..3 {
+        let (report, secs) = run_once(w, engine, w.millis);
+        if secs < best {
+            best = secs;
+        }
+        events = report.events;
+    }
+    Case {
+        name: w.name,
+        engine,
+        events,
+        wall_secs: best,
+        events_per_sec: events as f64 / best,
+        allocs_per_event,
+    }
+}
+
+/// Hold-model pending set: large enough that a binary heap pays ~20
+/// cache-missing sift levels per operation while the calendar stays
+/// O(1) (a few touches regardless of size).
+const HOLD_PENDING: u64 = 2_000_000;
+/// Steady-state operations per timed pass.
+const HOLD_OPS: u64 = 2_000_000;
+/// Mean reschedule offset; with `HOLD_PENDING` events in flight the
+/// mean pop-to-pop gap is `HOLD_MEAN_INC_PS / HOLD_PENDING` = 10 ps,
+/// which the wheel sizes into ~3 events per day.
+const HOLD_MEAN_INC_PS: u64 = 20_000_000;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Classic hold-model scheduler stress (Brown, CACM '88): keep
+/// `HOLD_PENDING` events pending; every operation pops the minimum and
+/// schedules a replacement a uniform random offset into the future.
+/// Whole-simulation runs spend most of each event outside the queue,
+/// so engine differences only surface here, where the scheduler *is*
+/// the workload. Both engines consume the identical offset stream and
+/// pop in the identical `(time, seq)` order, so the comparison is
+/// work-for-work. Returns `(events, wall_secs, allocs_per_event)`.
+fn hold_run(engine: Engine) -> (u64, f64, f64) {
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+    let mut inc = move || 1 + rng.next() % (2 * HOLD_MEAN_INC_PS);
+    let mut seq = 0u64;
+    let mut acc = 0u64;
+    let (secs, allocs) = match engine {
+        Engine::Calendar => {
+            let mut q = CalendarQueue::new((HOLD_MEAN_INC_PS / HOLD_PENDING).max(1));
+            for i in 0..HOLD_PENDING {
+                seq += 1;
+                q.push(inc(), seq, i as u32);
+            }
+            let a0 = allocs_now();
+            let start = Instant::now();
+            for _ in 0..HOLD_OPS {
+                let (t, _, p) = q.pop().expect("hold set never drains");
+                acc = acc.wrapping_add(p as u64);
+                seq += 1;
+                q.push(t + inc(), seq, p);
+            }
+            (start.elapsed().as_secs_f64(), allocs_now() - a0)
+        }
+        Engine::ReferenceHeap => {
+            let mut q: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+            for i in 0..HOLD_PENDING {
+                seq += 1;
+                q.push(Reverse((inc(), seq, i as u32)));
+            }
+            let a0 = allocs_now();
+            let start = Instant::now();
+            for _ in 0..HOLD_OPS {
+                let Reverse((t, _, p)) = q.pop().expect("hold set never drains");
+                acc = acc.wrapping_add(p as u64);
+                seq += 1;
+                q.push(Reverse((t + inc(), seq, p)));
+            }
+            (start.elapsed().as_secs_f64(), allocs_now() - a0)
+        }
+    };
+    std::hint::black_box(acc);
+    (HOLD_OPS, secs, allocs as f64 / HOLD_OPS as f64)
+}
+
+fn measure_hold(engine: Engine) -> Case {
+    let mut best = f64::INFINITY;
+    let mut allocs_per_event = 0.0;
+    let mut events = 0;
+    for _ in 0..3 {
+        let (ev, secs, allocs) = hold_run(engine);
+        if secs < best {
+            best = secs;
+            allocs_per_event = allocs;
+        }
+        events = ev;
+    }
+    Case {
+        name: "sched_hold_2m",
+        engine,
+        events,
+        wall_secs: best,
+        events_per_sec: events as f64 / best,
+        allocs_per_event,
+    }
+}
+
+fn engine_key(e: Engine) -> &'static str {
+    match e {
+        Engine::Calendar => "calendar",
+        Engine::ReferenceHeap => "reference_heap",
+    }
+}
+
+fn render_json(cases: &[Case]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"lognic-perf-baseline/v1\",\n  \"results\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"engine\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.0}, \"allocs_per_event\": {:.6}}}{}\n",
+            c.name,
+            engine_key(c.engine),
+            c.events,
+            c.wall_secs,
+            c.events_per_sec,
+            c.allocs_per_event,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"speedup\": {\n");
+    let names: Vec<&str> = {
+        let mut v: Vec<&str> = cases.iter().map(|c| c.name).collect();
+        v.dedup();
+        v
+    };
+    for (i, name) in names.iter().enumerate() {
+        let wheel = cases
+            .iter()
+            .find(|c| c.name == *name && c.engine == Engine::Calendar)
+            .expect("calendar case present");
+        let heap = cases
+            .iter()
+            .find(|c| c.name == *name && c.engine == Engine::ReferenceHeap)
+            .expect("heap case present");
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            name,
+            wheel.events_per_sec / heap.events_per_sec,
+            if i + 1 < names.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Extracts `(name, engine, events_per_sec)` triples from a baseline
+/// file — each result record sits on its own line, so a line scanner
+/// is enough (no JSON dependency in a hermetic workspace).
+fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if !line.contains("\"events_per_sec\"") {
+            continue;
+        }
+        let field = |key: &str| -> Option<String> {
+            let at = line.find(key)? + key.len();
+            let rest = &line[at..];
+            let rest = rest.trim_start_matches([':', ' ', '"']);
+            let end = rest.find(['"', ',', '}'])?;
+            Some(rest[..end].trim().to_owned())
+        };
+        if let (Some(name), Some(engine), Some(eps)) = (
+            field("\"name\""),
+            field("\"engine\""),
+            field("\"events_per_sec\""),
+        ) {
+            if let Ok(v) = eps.parse::<f64>() {
+                out.push((name, engine, v));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_sim.json");
+
+    let mut cases = Vec::new();
+    for w in workloads() {
+        for engine in [Engine::Calendar, Engine::ReferenceHeap] {
+            let c = measure(&w, engine);
+            println!(
+                "{:<16} {:<15} {:>10} events  {:>8.1} ms  {:>12.0} ev/s  {:.4} allocs/ev",
+                c.name,
+                engine_key(c.engine),
+                c.events,
+                c.wall_secs * 1e3,
+                c.events_per_sec,
+                c.allocs_per_event,
+            );
+            cases.push(c);
+        }
+    }
+    for engine in [Engine::Calendar, Engine::ReferenceHeap] {
+        let c = measure_hold(engine);
+        println!(
+            "{:<16} {:<15} {:>10} events  {:>8.1} ms  {:>12.0} ev/s  {:.4} allocs/ev",
+            c.name,
+            engine_key(c.engine),
+            c.events,
+            c.wall_secs * 1e3,
+            c.events_per_sec,
+            c.allocs_per_event,
+        );
+        cases.push(c);
+    }
+
+    if check {
+        let baseline = match std::fs::read_to_string("BENCH_sim.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf-smoke: cannot read BENCH_sim.json: {e}");
+                std::process::exit(2);
+            }
+        };
+        let old = parse_baseline(&baseline);
+        let mut failed = false;
+        for c in &cases {
+            let Some((_, _, old_eps)) = old
+                .iter()
+                .find(|(n, e, _)| n == c.name && e == engine_key(c.engine))
+            else {
+                eprintln!(
+                    "perf-smoke: no baseline entry for {}/{}",
+                    c.name,
+                    engine_key(c.engine)
+                );
+                continue;
+            };
+            let floor = old_eps * 0.75;
+            let status = if c.events_per_sec < floor {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "check {:<16} {:<15} baseline {:>12.0} ev/s  now {:>12.0} ev/s  {}",
+                c.name,
+                engine_key(c.engine),
+                old_eps,
+                c.events_per_sec,
+                status,
+            );
+        }
+        if failed {
+            eprintln!("perf-smoke: events/sec regressed by more than 25%");
+            std::process::exit(1);
+        }
+        println!("perf-smoke: within 25% of the committed baseline");
+        return;
+    }
+
+    let json = render_json(&cases);
+    std::fs::write(out_path, &json).expect("write baseline file");
+    println!("wrote {out_path}");
+}

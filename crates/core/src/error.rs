@@ -119,6 +119,16 @@ pub enum LogNicError {
         /// The dangling name.
         node: String,
     },
+    /// Several names across a builder's overrides, queue plans and
+    /// fault windows refer to nodes absent from the execution graph.
+    /// Reported as one aggregate so a misconfigured scenario surfaces
+    /// every dangling reference in a single round trip instead of
+    /// failing on the first.
+    UnknownNodes {
+        /// `(context, name)` pairs, in the order the references were
+        /// declared (e.g. `("service override", "ghost")`).
+        references: Vec<(&'static str, String)>,
+    },
     /// A fault-plan parameter is outside its valid domain.
     InvalidFaultParameter {
         /// Which parameter was rejected (e.g. `"drop probability"`).
@@ -170,6 +180,13 @@ impl fmt::Display for LogNicError {
             LogNicError::Model(e) => e.fmt(f),
             LogNicError::UnknownNode { context, node } => {
                 write!(f, "{context} references unknown node `{node}`")
+            }
+            LogNicError::UnknownNodes { references } => {
+                write!(f, "{} unknown node references:", references.len())?;
+                for (context, node) in references {
+                    write!(f, " {context}→`{node}`")?;
+                }
+                Ok(())
             }
             LogNicError::InvalidFaultParameter {
                 parameter,
@@ -276,5 +293,14 @@ mod tests {
             until: 1.0,
         };
         assert!(e.to_string().contains("ip"));
+        let e = LogNicError::UnknownNodes {
+            references: vec![
+                ("service override", "ghost".into()),
+                ("outage", "phantom".into()),
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("ghost") && msg.contains("phantom"), "{msg}");
+        assert!(msg.contains('2'), "aggregate count: {msg}");
     }
 }

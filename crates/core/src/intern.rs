@@ -1,0 +1,116 @@
+//! Name interning: dense integer ids for node names.
+//!
+//! The simulator's hot loop never touches a `String` — nodes are
+//! addressed by their dense [`NodeId`] index everywhere. The only
+//! places names still appear are the *edges* of the system: builder
+//! overrides, fault plans and reports. A [`NameTable`] is the bridge:
+//! it is built once per graph (sorted, binary-searched, no hashing)
+//! and resolves every user-supplied name to its interned index in one
+//! pass, so `SimulationBuilder::build` does O(k log n) total work
+//! instead of k linear scans over the node list.
+//!
+//! [`NodeId`]: crate::graph::NodeId
+
+use crate::graph::{ExecutionGraph, NodeId};
+
+/// A sorted name → dense-index table for one execution graph.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::graph::ExecutionGraph;
+/// use lognic_model::intern::NameTable;
+/// use lognic_model::params::IpParams;
+/// use lognic_model::units::Bandwidth;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = ExecutionGraph::chain("t", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))])?;
+/// let table = NameTable::for_graph(&g);
+/// assert_eq!(table.resolve("ip"), g.node_by_name("ip"));
+/// assert_eq!(table.resolve("ghost"), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameTable {
+    /// `(name, dense index)` pairs sorted by name.
+    sorted: Vec<(String, usize)>,
+}
+
+impl NameTable {
+    /// Interns the node names of a graph.
+    pub fn for_graph(graph: &ExecutionGraph) -> Self {
+        Self::from_names(graph.nodes().iter().map(|n| n.name()))
+    }
+
+    /// Interns an arbitrary ordered name list; the dense index of each
+    /// name is its position in the iterator.
+    pub fn from_names<'a>(names: impl Iterator<Item = &'a str>) -> Self {
+        let mut sorted: Vec<(String, usize)> =
+            names.enumerate().map(|(i, n)| (n.to_owned(), i)).collect();
+        sorted.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        NameTable { sorted }
+    }
+
+    /// Resolves a name to its interned [`NodeId`], or `None` when the
+    /// name was never interned. Duplicate names resolve to the
+    /// earliest matching index found by the binary search (graphs
+    /// reject duplicates at construction, so this only matters for
+    /// ad-hoc tables).
+    pub fn resolve(&self, name: &str) -> Option<NodeId> {
+        self.sorted
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|pos| NodeId(self.sorted[pos].1))
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::IpParams;
+    use crate::units::Bandwidth;
+
+    #[test]
+    fn resolves_every_graph_node() {
+        let g = ExecutionGraph::chain(
+            "t",
+            &[
+                ("alpha", IpParams::new(Bandwidth::gbps(1.0))),
+                ("beta", IpParams::new(Bandwidth::gbps(1.0))),
+            ],
+        )
+        .unwrap();
+        let table = NameTable::for_graph(&g);
+        assert_eq!(table.len(), g.nodes().len());
+        assert!(!table.is_empty());
+        for node in g.nodes() {
+            assert_eq!(
+                table.resolve(node.name()),
+                g.node_by_name(node.name()),
+                "{} must intern to its graph id",
+                node.name()
+            );
+        }
+        assert_eq!(table.resolve("nope"), None);
+    }
+
+    #[test]
+    fn from_names_uses_iteration_order_as_index() {
+        let table = NameTable::from_names(["z", "a", "m"].into_iter());
+        assert_eq!(table.resolve("z").map(|id| id.index()), Some(0));
+        assert_eq!(table.resolve("a").map(|id| id.index()), Some(1));
+        assert_eq!(table.resolve("m").map(|id| id.index()), Some(2));
+        assert!(NameTable::from_names(std::iter::empty()).is_empty());
+    }
+}

@@ -56,6 +56,7 @@ pub mod estimate;
 pub mod extensions;
 pub mod fault;
 pub mod graph;
+pub mod intern;
 pub mod latency;
 pub mod lint;
 pub mod params;
@@ -74,6 +75,7 @@ pub mod prelude {
     pub use crate::extensions::{consolidate, delivered_throughput, estimate_mixed, Tenant};
     pub use crate::fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
     pub use crate::graph::{EdgeId, ExecutionGraph, NodeId, NodeKind};
+    pub use crate::intern::NameTable;
     pub use crate::latency::{estimate_latency, LatencyEstimate};
     pub use crate::lint::{lint, lint_faults, LintWarning};
     pub use crate::params::{EdgeParams, HardwareModel, IpParams, PacketSizeDist, TrafficProfile};

@@ -1,0 +1,172 @@
+//! A slab/free-list arena for in-flight packets.
+//!
+//! The event loop used to move `Packet` structs by value through
+//! events and per-node queues. With the calendar queue the event
+//! payload must stay small and `Copy`, so packets live in one arena
+//! and everything else carries a dense `u32` handle. Freed slots are
+//! recycled through a free list, so after the in-flight population
+//! peaks the steady-state loop performs **zero** heap allocation —
+//! the property `tests/zero_alloc.rs` proves with a counting
+//! allocator.
+
+use crate::packet::Packet;
+
+/// Handle into a [`PacketArena`]; `u32::MAX` is reserved as a niche
+/// for "no packet" (used by injection events).
+pub type PacketHandle = u32;
+
+/// Sentinel handle meaning "no packet attached".
+pub const NO_PACKET: PacketHandle = u32::MAX;
+
+/// Slab of live packets with a LIFO free list.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_sim::arena::PacketArena;
+/// use lognic_sim::packet::Packet;
+/// use lognic_model::units::Bytes;
+/// use lognic_sim::time::SimTime;
+///
+/// let mut arena = PacketArena::new();
+/// let h = arena.alloc(Packet::new(7, Bytes::new(512), SimTime::ZERO, 0));
+/// assert_eq!(arena.get(h).id, 7);
+/// arena.free(h);
+/// // The slot is recycled: no new capacity needed.
+/// let h2 = arena.alloc(Packet::new(8, Bytes::new(64), SimTime::ZERO, 0));
+/// assert_eq!(h, h2);
+/// ```
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Packet>,
+    free: Vec<PacketHandle>,
+    /// Highest simultaneous live-packet count ever observed.
+    high_water: usize,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena with room for `cap` packets before any reallocation.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap),
+            high_water: 0,
+        }
+    }
+
+    /// Stores a packet, recycling a freed slot when one is available.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketHandle {
+        if let Some(h) = self.free.pop() {
+            self.slots[h as usize] = pkt;
+            self.track_high_water();
+            return h;
+        }
+        let h = self.slots.len();
+        assert!(h < NO_PACKET as usize, "packet arena exhausted u32 handles");
+        self.slots.push(pkt);
+        self.track_high_water();
+        h as PacketHandle
+    }
+
+    /// Shared access to a live packet.
+    #[inline]
+    pub fn get(&self, h: PacketHandle) -> &Packet {
+        &self.slots[h as usize]
+    }
+
+    /// Exclusive access to a live packet.
+    #[inline]
+    pub fn get_mut(&mut self, h: PacketHandle) -> &mut Packet {
+        &mut self.slots[h as usize]
+    }
+
+    /// Returns a slot to the free list. The slot's contents stay in
+    /// place until recycled; callers must not use `h` afterwards
+    /// (debug builds catch double-frees).
+    pub fn free(&mut self, h: PacketHandle) {
+        debug_assert!(!self.free.contains(&h), "double free of packet handle {h}");
+        self.free.push(h);
+    }
+
+    /// Packets currently live (allocated and not freed).
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever created — the arena's capacity footprint.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Highest simultaneous live count observed; with `capacity()`
+    /// this tells the bench whether the arena plateaued (capacity ==
+    /// high-water ⇒ no slot was created after the peak).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    #[inline]
+    fn track_high_water(&mut self) {
+        let live = self.live();
+        if live > self.high_water {
+            self.high_water = live;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use lognic_model::units::Bytes;
+
+    fn pkt(id: u64) -> Packet {
+        Packet::new(id, Bytes::new(100), SimTime::ZERO, 0)
+    }
+
+    #[test]
+    fn alloc_free_recycles_slots() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(pkt(1));
+        let b = arena.alloc(pkt(2));
+        assert_ne!(a, b);
+        assert_eq!(arena.live(), 2);
+        arena.free(a);
+        assert_eq!(arena.live(), 1);
+        let c = arena.alloc(pkt(3));
+        assert_eq!(c, a, "freed slot must be recycled");
+        assert_eq!(arena.get(c).id, 3);
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.high_water(), 2);
+    }
+
+    #[test]
+    fn capacity_plateaus_at_high_water() {
+        let mut arena = PacketArena::with_capacity(4);
+        // Churn: never more than 3 live at once.
+        let mut live = Vec::new();
+        for round in 0u64..100 {
+            live.push(arena.alloc(pkt(round)));
+            if live.len() == 3 {
+                for h in live.drain(..) {
+                    arena.free(h);
+                }
+            }
+        }
+        assert_eq!(arena.high_water(), 3);
+        assert_eq!(arena.capacity(), 3, "no slot created after the peak");
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut arena = PacketArena::new();
+        let h = arena.alloc(pkt(9));
+        arena.get_mut(h).corrupted = true;
+        assert!(arena.get(h).corrupted);
+    }
+}

@@ -16,6 +16,12 @@
 
 pub use lognic_model::fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
 
+use std::sync::Arc;
+
+use lognic_model::error::LogNicResult;
+use lognic_model::graph::ExecutionGraph;
+use lognic_model::intern::NameTable;
+
 use crate::time::SimTime;
 
 /// A fault effect compiled to simulator time.
@@ -110,6 +116,89 @@ impl NodeFaults {
     }
 }
 
+/// A [`FaultPlan`] compiled against one execution graph: per-node
+/// fault schedules in simulator time, indexed by dense node id, plus
+/// the plan-wide retry policy and deadline.
+///
+/// Compilation validates the plan and resolves node names exactly
+/// once. The per-node tables are held behind [`Arc`]s, so cloning a
+/// compiled plan (or installing it on a builder) is a few reference
+/// bumps — the replication engine compiles a plan once and shares it
+/// across all worker threads instead of cloning and re-validating the
+/// declarative plan per seed.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::prelude::*;
+/// use lognic_sim::faults::CompiledFaultPlan;
+///
+/// # fn main() -> LogNicResult<()> {
+/// let g = ExecutionGraph::chain("t", &[("ip", IpParams::new(Bandwidth::gbps(1.0)))])?;
+/// let plan = FaultPlan::new().outage("ip", Seconds::millis(1.0), Seconds::millis(2.0));
+/// let compiled = CompiledFaultPlan::compile(&plan, &g)?;
+/// let shared = compiled.clone(); // cheap: Arc bumps, no re-validation
+/// # let _ = shared;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledFaultPlan {
+    /// One schedule per graph node, indexed like the node list.
+    /// Fault-free nodes all share one empty schedule.
+    pub(crate) per_node: Vec<Arc<NodeFaults>>,
+    /// Plan-wide retry/backoff policy.
+    pub(crate) retry: Option<RetryPolicy>,
+    /// Plan-wide sojourn deadline, in simulator time.
+    pub(crate) deadline: Option<SimTime>,
+}
+
+impl CompiledFaultPlan {
+    /// Validates `plan` against `graph` and compiles it to per-node
+    /// schedules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] errors: windows naming nodes
+    /// absent from the graph, empty/inverted windows, out-of-range
+    /// fault parameters.
+    pub fn compile(plan: &FaultPlan, graph: &ExecutionGraph) -> LogNicResult<Self> {
+        plan.validate(graph)?;
+        let table = NameTable::for_graph(graph);
+        let mut per_node: Vec<NodeFaults> = vec![NodeFaults::default(); graph.nodes().len()];
+        for w in plan.windows() {
+            let id = table
+                .resolve(w.node())
+                .expect("validated plan only names graph nodes");
+            per_node[id.index()].push(
+                SimTime::from_secs(w.from().as_secs()),
+                SimTime::from_secs(w.until().as_secs()),
+                compile_kind(w.kind()),
+            );
+        }
+        let empty = Arc::new(NodeFaults::default());
+        Ok(CompiledFaultPlan {
+            per_node: per_node
+                .into_iter()
+                .map(|f| {
+                    if f.is_empty() {
+                        Arc::clone(&empty)
+                    } else {
+                        Arc::new(f)
+                    }
+                })
+                .collect(),
+            retry: plan.retry().copied(),
+            deadline: plan.deadline().map(|d| SimTime::from_secs(d.as_secs())),
+        })
+    }
+
+    /// True when no node has a scheduled fault window.
+    pub fn is_fault_free(&self) -> bool {
+        self.per_node.iter().all(|f| f.is_empty())
+    }
+}
+
 /// Compiles a declarative fault kind to simulator time.
 pub(crate) fn compile_kind(kind: FaultKind) -> CompiledKind {
     match kind {
@@ -167,6 +256,41 @@ mod tests {
         assert_eq!(f.rate_factor_at(t(6.0)), 0.25, "factors multiply");
         assert!((f.drop_prob_at(t(1.0)) - 0.75).abs() < 1e-12, "1-(1-p)^2");
         assert_eq!(f.credit_loss_at(t(1.0)), 7, "credits sum");
+    }
+
+    #[test]
+    fn compiled_plan_shares_tables_by_reference() {
+        use lognic_model::params::IpParams;
+        use lognic_model::units::{Bandwidth, Seconds};
+        let g = ExecutionGraph::chain(
+            "c",
+            &[
+                ("a", IpParams::new(Bandwidth::gbps(1.0))),
+                ("b", IpParams::new(Bandwidth::gbps(1.0))),
+            ],
+        )
+        .unwrap();
+        let plan = FaultPlan::new()
+            .outage("a", Seconds::millis(1.0), Seconds::millis(2.0))
+            .with_retry(RetryPolicy::new(2, Seconds::micros(10.0)))
+            .with_deadline(Seconds::millis(5.0));
+        let compiled = CompiledFaultPlan::compile(&plan, &g).unwrap();
+        assert_eq!(compiled.per_node.len(), g.nodes().len());
+        assert!(!compiled.is_fault_free());
+        assert!(compiled.retry.is_some());
+        assert_eq!(compiled.deadline, Some(SimTime::from_secs(5e-3)));
+        // Cloning shares every per-node table.
+        let cloned = compiled.clone();
+        for (a, b) in compiled.per_node.iter().zip(&cloned.per_node) {
+            assert!(Arc::ptr_eq(a, b), "clone must not deep-copy tables");
+        }
+        // Unknown node → typed error, not a panic.
+        let bad = FaultPlan::new().outage("ghost", Seconds::ZERO, Seconds::millis(1.0));
+        assert!(CompiledFaultPlan::compile(&bad, &g).is_err());
+        // Fault-free plans share one empty table across all nodes.
+        let free = CompiledFaultPlan::compile(&FaultPlan::new(), &g).unwrap();
+        assert!(free.is_fault_free());
+        assert!(Arc::ptr_eq(&free.per_node[0], &free.per_node[1]));
     }
 
     #[test]

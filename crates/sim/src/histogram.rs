@@ -1,0 +1,253 @@
+//! Streaming latency statistics: Welford moments plus a fixed-bucket
+//! log-scale histogram.
+//!
+//! The original engine recorded every completed packet's latency in an
+//! unbounded `Vec<SimTime>` and sorted it at report time — O(n log n)
+//! and a reallocation-heavy append stream. The [`LatencyRecorder`]
+//! replaces both: mean/stddev stream through Welford's algorithm and
+//! percentiles come from an HDR-style histogram with `2^7 = 128`
+//! sub-buckets per power of two (≤ 0.8 % relative bucket width).
+//!
+//! Each bucket additionally tracks the **min and max** value it has
+//! absorbed, and percentile lookup interpolates linearly between them
+//! by rank. Two consequences matter for the test suite:
+//!
+//! * a bucket holding one distinct value reports it *exactly* — so a
+//!   deterministic paced run (every latency identical) yields
+//!   `p50 == max` to the bit, and
+//! * well-separated samples (≥ one bucket width apart) land in
+//!   distinct buckets and are likewise exact.
+//!
+//! Rank semantics match the retired sort-based path:
+//! `rank = round((count − 1) · q)`.
+
+use crate::time::SimTime;
+use lognic_model::units::Seconds;
+
+/// Sub-bucket resolution: 2^7 buckets per power of two.
+const SUB_BITS: u32 = 7;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full u64 picosecond range:
+/// values < 128 get unit buckets, then (64 − 7) half-decades of 128.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB_BUCKETS as usize) + SUB_BUCKETS as usize;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Streaming recorder for packet latencies (picosecond resolution).
+///
+/// # Examples
+///
+/// ```
+/// use lognic_sim::histogram::LatencyRecorder;
+/// use lognic_sim::time::SimTime;
+///
+/// let mut rec = LatencyRecorder::new();
+/// for _ in 0..100 {
+///     rec.record(SimTime::from_micros(5.0));
+/// }
+/// // All-equal samples are exact: p50 == max.
+/// assert_eq!(rec.quantile(0.5), rec.max().to_seconds());
+/// assert_eq!(rec.count(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    buckets: Vec<Bucket>,
+    count: u64,
+    max: u64,
+    // Welford accumulators over seconds.
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// An empty recorder. Allocates its (fixed-size) bucket table up
+    /// front — the last allocation it ever performs.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            buckets: vec![Bucket::default(); BUCKETS],
+            count: 0,
+            max: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+
+    #[inline]
+    fn index(v: u64) -> usize {
+        if v < SUB_BUCKETS {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros();
+        let shifted = (v >> (e - SUB_BITS)) - SUB_BUCKETS;
+        ((e - SUB_BITS + 1) as u64 * SUB_BUCKETS + shifted) as usize
+    }
+
+    /// Records one latency sample. O(1), allocation-free.
+    #[inline]
+    pub fn record(&mut self, latency: SimTime) {
+        let v = latency.as_picos();
+        let b = &mut self.buckets[Self::index(v)];
+        if b.count == 0 {
+            b.min = v;
+            b.max = v;
+        } else {
+            b.min = b.min.min(v);
+            b.max = b.max.max(v);
+        }
+        b.count += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+        // Welford update over seconds.
+        let x = latency.as_secs();
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded latency.
+    pub fn max(&self) -> SimTime {
+        SimTime::from_picos(self.max)
+    }
+
+    /// Streaming arithmetic mean.
+    pub fn mean(&self) -> Seconds {
+        Seconds::new(if self.count == 0 { 0.0 } else { self.mean })
+    }
+
+    /// Streaming (population) standard deviation.
+    pub fn stddev(&self) -> Seconds {
+        if self.count < 2 {
+            return Seconds::ZERO;
+        }
+        Seconds::new((self.m2 / self.count as f64).sqrt())
+    }
+
+    /// The `q`-quantile with the same rank convention as a sorted
+    /// vector: `rank = round((count − 1) · q)`. Values inside a
+    /// multi-value bucket are linearly interpolated between the
+    /// bucket's observed min and max; a single-value bucket is exact.
+    pub fn quantile(&self, q: f64) -> Seconds {
+        if self.count == 0 {
+            return Seconds::ZERO;
+        }
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut cum = 0u64;
+        for b in &self.buckets {
+            if b.count == 0 {
+                continue;
+            }
+            if cum + b.count > rank {
+                let pos = rank - cum;
+                let v = if b.count == 1 || b.min == b.max {
+                    b.min as f64
+                } else {
+                    b.min as f64 + (b.max - b.min) as f64 * (pos as f64 / (b.count - 1) as f64)
+                };
+                return SimTime::from_picos(v.round() as u64).to_seconds();
+            }
+            cum += b.count;
+        }
+        self.max().to_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for probe in [v, v + v / 3, v + v / 2, (v - 1).max(1)] {
+                let idx = LatencyRecorder::index(probe);
+                assert!(idx < BUCKETS, "index {idx} out of range for {probe}");
+            }
+            let idx = LatencyRecorder::index(v);
+            assert!(idx >= last, "index must not decrease: {v}");
+            last = idx;
+        }
+        assert!(LatencyRecorder::index(u64::MAX) < BUCKETS);
+        assert_eq!(LatencyRecorder::index(0), 0);
+        assert_eq!(LatencyRecorder::index(127), 127);
+    }
+
+    #[test]
+    fn all_equal_samples_are_exact() {
+        let mut rec = LatencyRecorder::new();
+        for _ in 0..1000 {
+            rec.record(SimTime::from_micros(42.0));
+        }
+        let p50 = rec.quantile(0.5);
+        let max = rec.max().to_seconds();
+        assert_eq!(p50, max, "deterministic runs need exact percentiles");
+        assert!((rec.mean().as_micros() - 42.0).abs() < 1e-9);
+        assert!(rec.stddev().as_secs() < 1e-12);
+    }
+
+    #[test]
+    fn well_separated_samples_are_exact() {
+        // 1..=100 µs, 1 µs apart — far wider than the 0.8 % bucket
+        // width at this scale, so every sample owns its bucket.
+        let mut rec = LatencyRecorder::new();
+        for i in 1..=100 {
+            rec.record(SimTime::from_micros(i as f64));
+        }
+        // rank = round((count − 1)·q): p50 → round(49.5) = index 50,
+        // i.e. the 51 µs sample — the sort-based path's convention.
+        assert!((rec.quantile(0.50).as_micros() - 51.0).abs() < 1e-9);
+        assert!((rec.quantile(0.90).as_micros() - 90.0).abs() < 1e-9);
+        assert!((rec.quantile(0.99).as_micros() - 99.0).abs() < 1e-9);
+        assert!((rec.mean().as_micros() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_samples_stay_within_bucket_error() {
+        // 10k samples uniform in [1ms, 1.001ms): all within one power
+        // of two, heavily shared buckets.
+        let mut rec = LatencyRecorder::new();
+        let mut sorted = Vec::new();
+        let mut seed = 1u64;
+        for _ in 0..10_000 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let ps = 1_000_000_000 + (seed >> 40) % 1_000_000;
+            sorted.push(ps);
+            rec.record(SimTime::from_picos(ps));
+        }
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+            let exact = sorted[rank] as f64;
+            let approx = rec.quantile(q).as_secs() * 1e12;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.01, "q={q}: {approx} vs {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let rec = LatencyRecorder::new();
+        assert_eq!(rec.count(), 0);
+        assert_eq!(rec.quantile(0.5), Seconds::ZERO);
+        assert_eq!(rec.mean(), Seconds::ZERO);
+        assert_eq!(rec.stddev(), Seconds::ZERO);
+        assert_eq!(rec.max(), SimTime::ZERO);
+    }
+}

@@ -51,8 +51,12 @@
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![deny(clippy::perf)]
 
+pub mod arena;
+pub mod calendar;
 pub mod faults;
+pub mod histogram;
 pub mod medium;
 pub mod metrics;
 pub mod packet;
@@ -67,13 +71,16 @@ pub mod wrr;
 
 /// The most commonly used items.
 pub mod prelude {
-    pub use crate::faults::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
+    pub use crate::arena::{PacketArena, PacketHandle, NO_PACKET};
+    pub use crate::calendar::CalendarQueue;
+    pub use crate::faults::{CompiledFaultPlan, FaultKind, FaultPlan, FaultWindow, RetryPolicy};
+    pub use crate::histogram::LatencyRecorder;
     pub use crate::metrics::{LatencySummary, MediumReport, NodeReport, SimReport};
     pub use crate::packet::Packet;
     pub use crate::replicate::{ReplicatedReport, Replication};
     pub use crate::rng::SimRng;
     pub use crate::service::{FixedService, RateService, ServiceDist, ServiceModel};
-    pub use crate::sim::{SimConfig, Simulation, SimulationBuilder};
+    pub use crate::sim::{Engine, SimConfig, Simulation, SimulationBuilder};
     pub use crate::stats::{MetricSummary, Welford};
     pub use crate::time::SimTime;
     pub use crate::traffic::{ArrivalProcess, Injection, Trace, TraceCursor, TrafficSource};

@@ -1,15 +1,22 @@
 //! Measurement results of a simulation run.
 
+use crate::histogram::LatencyRecorder;
 use crate::time::SimTime;
 use lognic_model::units::{Bandwidth, Bytes, Seconds};
 
 /// Order statistics over observed packet latencies.
+///
+/// Computed by the engine from a streaming [`LatencyRecorder`] —
+/// Welford moments for mean/stddev and a log-scale histogram for the
+/// percentiles — so runs never buffer per-packet samples.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencySummary {
     /// Number of samples.
     pub count: u64,
     /// Arithmetic mean.
     pub mean: Seconds,
+    /// Population standard deviation.
+    pub stddev: Seconds,
     /// Median.
     pub p50: Seconds,
     /// 90th percentile.
@@ -21,34 +28,28 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarizes a set of latency samples. Consumes and sorts the
-    /// sample vector.
-    pub fn from_samples(mut samples: Vec<SimTime>) -> Self {
-        if samples.is_empty() {
-            return LatencySummary {
-                count: 0,
-                mean: Seconds::ZERO,
-                p50: Seconds::ZERO,
-                p90: Seconds::ZERO,
-                p99: Seconds::ZERO,
-                max: Seconds::ZERO,
-            };
-        }
-        samples.sort_unstable();
-        let count = samples.len() as u64;
-        let total: f64 = samples.iter().map(|t| t.as_secs()).sum();
-        let pick = |q: f64| -> Seconds {
-            let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
-            samples[idx].to_seconds()
-        };
+    /// Summarizes a streaming recorder's accumulated statistics.
+    pub fn from_recorder(rec: &LatencyRecorder) -> Self {
         LatencySummary {
-            count,
-            mean: Seconds::new(total / count as f64),
-            p50: pick(0.50),
-            p90: pick(0.90),
-            p99: pick(0.99),
-            max: samples.last().expect("non-empty").to_seconds(),
+            count: rec.count(),
+            mean: rec.mean(),
+            stddev: rec.stddev(),
+            p50: rec.quantile(0.50),
+            p90: rec.quantile(0.90),
+            p99: rec.quantile(0.99),
+            max: rec.max().to_seconds(),
         }
+    }
+
+    /// Summarizes a set of latency samples by feeding them through a
+    /// [`LatencyRecorder`] — one code path with the engine's streaming
+    /// statistics.
+    pub fn from_samples(samples: Vec<SimTime>) -> Self {
+        let mut rec = LatencyRecorder::new();
+        for s in samples {
+            rec.record(s);
+        }
+        Self::from_recorder(&rec)
     }
 }
 
@@ -145,6 +146,10 @@ pub struct SimReport {
     pub corrupted: u64,
     /// Delivered packet rate over the window (packets per second).
     pub packet_rate: f64,
+    /// Discrete events the engine processed over the whole run —
+    /// the denominator of the perf baseline's events/sec metric.
+    /// Identical across scheduler engines for the same scenario/seed.
+    pub events: u64,
     /// Latency statistics of completed packets.
     pub latency: LatencySummary,
     /// Per-class completion breakdown.
@@ -209,6 +214,8 @@ mod tests {
         assert!((s.p90.as_micros() - 90.0).abs() < 1.01);
         assert!((s.p99.as_micros() - 99.0).abs() < 1.01);
         assert!((s.max.as_micros() - 100.0).abs() < 1e-9);
+        // Population stddev of 1..=100 µs is sqrt((100²−1)/12) ≈ 28.87.
+        assert!((s.stddev.as_micros() - 28.866).abs() < 0.01);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct Packet {
     ///
     /// [`FaultKind::PacketCorruption`]: lognic_model::fault::FaultKind
     pub corrupted: bool,
+    /// Retry attempts consumed so far under a
+    /// [`RetryPolicy`](lognic_model::fault::RetryPolicy). Carried on
+    /// the packet (instead of a `HashMap<id, u32>` side table) so the
+    /// egress path never hashes.
+    pub attempts: u32,
 }
 
 impl Packet {
@@ -33,6 +38,7 @@ impl Packet {
             injected_at,
             class,
             corrupted: false,
+            attempts: 0,
         }
     }
 

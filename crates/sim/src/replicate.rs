@@ -23,6 +23,7 @@ use lognic_model::fault::FaultPlan;
 use lognic_model::graph::ExecutionGraph;
 use lognic_model::params::{HardwareModel, TrafficProfile};
 
+use crate::faults::CompiledFaultPlan;
 use crate::metrics::SimReport;
 use crate::rng::SimRng;
 use crate::sim::{SimConfig, Simulation};
@@ -208,6 +209,10 @@ impl Replication {
     /// [`FaultPlan`] installed on every replica. Fault outcomes are a
     /// pure function of each replica's seed, so the aggregate is as
     /// deterministic as a fault-free replication.
+    ///
+    /// The plan is validated and compiled **once**; every replica
+    /// shares the compiled per-node fault tables by reference
+    /// (`Arc`-cloned) instead of cloning the whole plan per seed.
     pub fn run_sim_faulted(
         &self,
         graph: &ExecutionGraph,
@@ -216,10 +221,11 @@ impl Replication {
         config: SimConfig,
         plan: &FaultPlan,
     ) -> LogNicResult<ReplicatedReport> {
+        let compiled = CompiledFaultPlan::compile(plan, graph)?;
         self.try_run(|seed| {
             Simulation::builder(graph, hw, traffic)
                 .config(SimConfig { seed, ..config })
-                .with_fault_plan(plan.clone())
+                .with_compiled_faults(&compiled)
                 .run()
         })
     }

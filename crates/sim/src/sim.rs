@@ -8,17 +8,39 @@
 //! fan-outs), serialized across shared media, queued and served at IP
 //! nodes with bounded queues and `D` parallel engines, and measured at
 //! the egress.
+//!
+//! # Engine internals
+//!
+//! The hot loop is allocation-free in steady state: events are 8-byte
+//! [`Ev`] records scheduled on a calendar queue ([`CalendarQueue`]),
+//! packets live in a slab arena ([`PacketArena`]) addressed by dense
+//! `u32` handles, and latency statistics stream through a
+//! [`LatencyRecorder`] instead of a per-packet sample vector. The
+//! original binary-heap scheduler is retained as
+//! [`Engine::ReferenceHeap`] — both engines pop events in exactly
+//! (time, seq) order, so every [`SimReport`] is bit-identical across
+//! them (the differential suite asserts this).
+//!
+//! [`Ev`]: self::Simulation
+//! [`CalendarQueue`]: crate::calendar::CalendarQueue
+//! [`PacketArena`]: crate::arena::PacketArena
+//! [`LatencyRecorder`]: crate::histogram::LatencyRecorder
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 use lognic_model::error::{LogNicError, LogNicResult};
 use lognic_model::fault::{FaultPlan, RetryPolicy};
 use lognic_model::graph::ExecutionGraph;
+use lognic_model::intern::NameTable;
 use lognic_model::params::{HardwareModel, TrafficProfile};
 use lognic_model::units::{Bandwidth, Seconds};
 
-use crate::faults::{compile_kind, NodeFaults};
+use crate::arena::{PacketArena, PacketHandle, NO_PACKET};
+use crate::calendar::CalendarQueue;
+use crate::faults::{CompiledFaultPlan, NodeFaults};
+use crate::histogram::LatencyRecorder;
 use crate::medium::Medium;
 use crate::metrics::{ClassReport, LatencySummary, MediumReport, NodeReport, SimReport};
 use crate::packet::Packet;
@@ -27,6 +49,25 @@ use crate::service::{RateService, ServiceDist, ServiceModel};
 use crate::time::SimTime;
 use crate::traffic::{ArrivalProcess, Trace, TraceCursor, TrafficSource};
 use crate::wrr::{QueuePlan, WrrQueues};
+
+/// Which event-scheduler implementation a run uses.
+///
+/// Both engines pop events in exactly `(time, seq)` order, so for a
+/// given scenario and seed every field of the resulting [`SimReport`]
+/// is bit-identical. The calendar queue is O(1) amortized per
+/// operation where the heap pays O(log n); it is the default and the
+/// heap survives purely as a differential-testing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Calendar-queue scheduler (Brown, CACM '88): O(1) amortized
+    /// push/pop on a power-of-two bucket wheel.
+    #[default]
+    Calendar,
+    /// The original `BinaryHeap`-based scheduler, kept as the
+    /// reference implementation for differential tests and the perf
+    /// baseline's speedup denominator.
+    ReferenceHeap,
+}
 
 /// Run-control parameters of a simulation.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +95,10 @@ pub struct SimConfig {
     /// `max_packets`, the graph size and the retry budget — large
     /// enough that only a non-terminating run can hit it.
     pub max_events: u64,
+    /// The event-scheduler implementation. Reports are bit-identical
+    /// across engines; this knob exists for differential testing and
+    /// perf baselines.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -67,47 +112,99 @@ impl Default for SimConfig {
             max_packets: 20_000_000,
             medium_backlog: Seconds::micros(50.0),
             max_events: 0,
+            engine: Engine::Calendar,
         }
     }
 }
 
-#[derive(Debug)]
-enum EventKind {
-    Inject,
-    Arrive { node: usize, pkt: Packet },
-    Done { node: usize, pkt: Packet },
+/// Event kinds, packed into the top bits of [`Ev::kind_node`].
+const K_INJECT: u32 = 0;
+const K_ARRIVE: u32 = 1;
+const K_DONE: u32 = 2;
+const KIND_SHIFT: u32 = 30;
+const NODE_MASK: u32 = (1 << KIND_SHIFT) - 1;
+
+/// A compact 8-byte event record: the kind lives in the top two bits
+/// of `kind_node`, the destination node in the low 30, and the packet
+/// is an arena handle ([`NO_PACKET`] for injections). Keeping events
+/// `Copy` and word-sized is what lets the calendar queue shuffle them
+/// between buckets without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Ev {
+    kind_node: u32,
+    pkt: PacketHandle,
 }
 
-#[derive(Debug)]
-struct Event {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
+impl Ev {
+    #[inline]
+    fn inject() -> Self {
+        Ev {
+            kind_node: K_INJECT << KIND_SHIFT,
+            pkt: NO_PACKET,
+        }
+    }
+
+    #[inline]
+    fn arrive(node: usize, pkt: PacketHandle) -> Self {
+        debug_assert!(node < NODE_MASK as usize);
+        Ev {
+            kind_node: (K_ARRIVE << KIND_SHIFT) | node as u32,
+            pkt,
+        }
+    }
+
+    #[inline]
+    fn done(node: usize, pkt: PacketHandle) -> Self {
+        debug_assert!(node < NODE_MASK as usize);
+        Ev {
+            kind_node: (K_DONE << KIND_SHIFT) | node as u32,
+            pkt,
+        }
+    }
+
+    #[inline]
+    fn kind(self) -> u32 {
+        self.kind_node >> KIND_SHIFT
+    }
+
+    #[inline]
+    fn node(self) -> usize {
+        (self.kind_node & NODE_MASK) as usize
+    }
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// The pending-event set, behind one of the two scheduler engines.
+/// Both pop in exactly `(time, seq)` order.
+enum EventQueue {
+    Wheel(CalendarQueue<Ev>),
+    Heap(BinaryHeap<Reverse<(u64, u64, Ev)>>),
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl EventQueue {
+    #[inline]
+    fn push(&mut self, time_ps: u64, seq: u64, ev: Ev) {
+        match self {
+            EventQueue::Wheel(w) => w.push(time_ps, seq, ev),
+            EventQueue::Heap(h) => h.push(Reverse((time_ps, seq, ev))),
+        }
     }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, u64, Ev)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop(),
+            EventQueue::Heap(h) => h.pop().map(|Reverse(t)| t),
+        }
     }
 }
 
-/// The waiting-room of a compute node.
+/// The waiting-room of a compute node. Queues hold arena handles, not
+/// packets — enqueue/dequeue move 4 bytes.
 enum QueueState {
     /// The default virtual shared queue: `capacity` bounds the total
     /// in system (waiting + in service), matching M/M/c/N.
     Shared {
-        queue: VecDeque<Packet>,
+        queue: VecDeque<PacketHandle>,
         capacity: u32,
     },
     /// An explicit multi-queue WRR plan (Fig. 2b): per-queue `k`
@@ -128,22 +225,22 @@ impl QueueState {
     /// bound). `credit_penalty` removes credits from the shared bound
     /// while a credit-loss fault window is active; WRR plans model
     /// explicit per-queue buffers and are unaffected.
-    fn enqueue(&mut self, pkt: Packet, busy: u32, credit_penalty: u32) -> bool {
+    fn enqueue(&mut self, h: PacketHandle, class: u32, busy: u32, credit_penalty: u32) -> bool {
         match self {
             QueueState::Shared { queue, capacity } => {
                 let effective = capacity.saturating_sub(credit_penalty).max(1);
                 if busy as usize + queue.len() >= effective as usize {
                     false
                 } else {
-                    queue.push_back(pkt);
+                    queue.push_back(h);
                     true
                 }
             }
-            QueueState::Wrr(w) => w.enqueue(pkt),
+            QueueState::Wrr(w) => w.enqueue(class, h),
         }
     }
 
-    fn dequeue(&mut self) -> Option<Packet> {
+    fn dequeue(&mut self) -> Option<PacketHandle> {
         match self {
             QueueState::Shared { queue, .. } => queue.pop_front(),
             QueueState::Wrr(w) => w.dequeue(),
@@ -159,7 +256,9 @@ struct NodeRuntime {
     overhead: SimTime,
     work_factor: f64,
     busy_time: SimTime,
-    faults: NodeFaults,
+    /// Shared compiled fault table — an `Arc` so replicated runs reuse
+    /// one compilation across every seed instead of cloning windows.
+    faults: Arc<NodeFaults>,
     /// Time-weighted integral of requests in system (packet-seconds),
     /// accumulated up to the injection horizon.
     occupancy_integral: f64,
@@ -194,6 +293,7 @@ pub struct SimulationBuilder<'a> {
     trace: Option<Trace>,
     outages: Vec<(String, Seconds, Seconds)>,
     plan: FaultPlan,
+    compiled: Option<&'a CompiledFaultPlan>,
 }
 
 impl std::fmt::Debug for SimulationBuilder<'_> {
@@ -243,6 +343,13 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Selects the event-scheduler implementation (the calendar queue
+    /// by default). Reports are bit-identical across engines.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
     /// Overrides the service model of the named node (e.g. an SSD
     /// model with internal state).
     pub fn override_service(mut self, node_name: &str, model: Box<dyn ServiceModel>) -> Self {
@@ -288,8 +395,34 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
-    fn validate(&self) -> LogNicResult<()> {
-        let cfg = &self.config;
+    /// Installs an already-compiled fault plan, sharing its per-node
+    /// tables by reference. Replicated runs compile a [`FaultPlan`]
+    /// once and hand the same [`CompiledFaultPlan`] to every seed.
+    ///
+    /// Takes precedence over [`SimulationBuilder::with_fault_plan`]
+    /// and [`SimulationBuilder::inject_outage`]: when a compiled plan
+    /// is installed, declarative plans/outages are ignored (their node
+    /// names are still validated).
+    pub fn with_compiled_faults(mut self, compiled: &'a CompiledFaultPlan) -> Self {
+        self.compiled = Some(compiled);
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`LogNicError`] instead of panicking when the
+    /// inputs are malformed: a service override, queue plan, outage or
+    /// fault window naming a node absent from the graph (one dangling
+    /// name yields [`LogNicError::UnknownNode`]; several are
+    /// aggregated into [`LogNicError::UnknownNodes`] so a misconfigured
+    /// scenario surfaces every bad reference at once); an empty or
+    /// inverted fault window; an out-of-range fault parameter; or an
+    /// unusable run configuration (warmup beyond the horizon, zero
+    /// packet budget).
+    pub fn build(self) -> LogNicResult<Simulation> {
+        let cfg = self.config;
         if cfg.warmup.as_secs() > cfg.duration.as_secs() {
             return Err(LogNicError::InvalidConfig {
                 reason: format!(
@@ -303,93 +436,106 @@ impl<'a> SimulationBuilder<'a> {
                 reason: "max_packets must be positive".into(),
             });
         }
-        for (name, _) in &self.overrides {
-            if self.graph.node_by_name(name).is_none() {
-                return Err(LogNicError::UnknownNode {
-                    context: "service override",
-                    node: name.clone(),
-                });
+
+        // One resolve pass over the interned name table replaces the
+        // old per-node linear scans through every override list, and
+        // collects *all* dangling names instead of failing on the
+        // first.
+        let n = self.graph.nodes().len();
+        let table = NameTable::for_graph(self.graph);
+        let mut svc_over: Vec<Option<Box<dyn ServiceModel>>> = (0..n).map(|_| None).collect();
+        let mut plan_over: Vec<Option<QueuePlan>> = vec![None; n];
+        let mut unknown: Vec<(&'static str, String)> = Vec::new();
+        let mut window_err: Option<LogNicError> = None;
+        for (name, model) in self.overrides {
+            match table.resolve(&name) {
+                // First override wins, matching the old scan order.
+                Some(id) => {
+                    let slot = &mut svc_over[id.index()];
+                    if slot.is_none() {
+                        *slot = Some(model);
+                    }
+                }
+                None => unknown.push(("service override", name)),
             }
         }
-        for (name, _) in &self.queue_plans {
-            if self.graph.node_by_name(name).is_none() {
-                return Err(LogNicError::UnknownNode {
-                    context: "queue plan",
-                    node: name.clone(),
-                });
+        for (name, plan) in self.queue_plans {
+            match table.resolve(&name) {
+                Some(id) => {
+                    let slot = &mut plan_over[id.index()];
+                    if slot.is_none() {
+                        *slot = Some(plan);
+                    }
+                }
+                None => unknown.push(("queue plan", name)),
             }
         }
         for (name, from, until) in &self.outages {
-            if self.graph.node_by_name(name).is_none() {
-                return Err(LogNicError::UnknownNode {
-                    context: "outage",
-                    node: name.clone(),
-                });
-            }
-            if until.as_secs() <= from.as_secs() {
-                return Err(LogNicError::InvalidFaultWindow {
+            if table.resolve(name).is_none() {
+                unknown.push(("outage", name.clone()));
+            } else if until.as_secs() <= from.as_secs() && window_err.is_none() {
+                window_err = Some(LogNicError::InvalidFaultWindow {
                     node: name.clone(),
                     from: from.as_secs(),
                     until: until.as_secs(),
                 });
             }
         }
-        self.plan.validate(self.graph)?;
-        Ok(())
-    }
-
-    /// Builds the simulation.
-    ///
-    /// # Errors
-    ///
-    /// Returns a typed [`LogNicError`] instead of panicking when the
-    /// inputs are malformed: a service override, queue plan, outage or
-    /// fault window naming a node absent from the graph; an empty or
-    /// inverted fault window; an out-of-range fault parameter; or an
-    /// unusable run configuration (warmup beyond the horizon, zero
-    /// packet budget).
-    pub fn build(self) -> LogNicResult<Simulation> {
-        self.validate()?;
-        let cfg = self.config;
-        let mut overrides = self.overrides;
-        let queue_plans = self.queue_plans;
-        // Merge `inject_outage` shorthands and the fault plan into one
-        // per-node compiled schedule.
-        let mut plan = self.plan;
-        for (name, from, until) in self.outages {
-            plan = plan.outage(&name, from, until);
+        match unknown.len() {
+            0 => {}
+            1 => {
+                let (context, node) = unknown.remove(0);
+                return Err(LogNicError::UnknownNode { context, node });
+            }
+            _ => {
+                return Err(LogNicError::UnknownNodes {
+                    references: unknown,
+                })
+            }
         }
-        let retry = plan.retry().copied();
-        let deadline = plan.deadline().map(|d| SimTime::from_secs(d.as_secs()));
+        if let Some(e) = window_err {
+            return Err(e);
+        }
+
+        // Fault compilation: a pre-compiled plan is shared by
+        // reference (Arc-cloned tables); otherwise merge the
+        // `inject_outage` shorthands into the declarative plan and
+        // compile here. Both paths validate window/parameter domains.
+        let (per_node, retry, deadline) = match self.compiled {
+            Some(c) => (c.per_node.clone(), c.retry, c.deadline),
+            None => {
+                let mut plan = self.plan;
+                for (name, from, until) in self.outages {
+                    plan = plan.outage(&name, from, until);
+                }
+                let c = CompiledFaultPlan::compile(&plan, self.graph)?;
+                (c.per_node, c.retry, c.deadline)
+            }
+        };
+
         let nodes: Vec<SimNode> = self
             .graph
             .nodes()
             .iter()
-            .map(|n| {
-                let runtime = n.params().map(|p| {
-                    let service: Box<dyn ServiceModel> =
-                        match overrides.iter().position(|(name, _)| name == n.name()) {
-                            Some(i) => overrides.swap_remove(i).1,
-                            None => Box::new(RateService::new(
-                                p.effective_peak() / p.parallelism() as f64,
-                                cfg.service_dist,
-                            )),
-                        };
-                    let queue = match queue_plans.iter().find(|(name, _)| name == n.name()) {
-                        Some((_, plan)) => QueueState::Wrr(WrrQueues::new(plan)),
+            .zip(svc_over)
+            .zip(plan_over)
+            .zip(&per_node)
+            .map(|(((gn, svc), qplan), faults)| {
+                let runtime = gn.params().map(|p| {
+                    let service: Box<dyn ServiceModel> = match svc {
+                        Some(model) => model,
+                        None => Box::new(RateService::new(
+                            p.effective_peak() / p.parallelism() as f64,
+                            cfg.service_dist,
+                        )),
+                    };
+                    let queue = match qplan {
+                        Some(plan) => QueueState::Wrr(WrrQueues::new(&plan)),
                         None => QueueState::Shared {
                             queue: VecDeque::new(),
                             capacity: p.effective_queue_capacity(),
                         },
                     };
-                    let mut faults = NodeFaults::default();
-                    for w in plan.windows().iter().filter(|w| w.node() == n.name()) {
-                        faults.push(
-                            SimTime::from_secs(w.from().as_secs()),
-                            SimTime::from_secs(w.until().as_secs()),
-                            compile_kind(w.kind()),
-                        );
-                    }
                     NodeRuntime {
                         engines: p.parallelism(),
                         busy: 0,
@@ -398,13 +544,13 @@ impl<'a> SimulationBuilder<'a> {
                         overhead: SimTime::from_secs(p.overhead().as_secs()),
                         work_factor: p.work_factor(),
                         busy_time: SimTime::ZERO,
-                        faults,
+                        faults: Arc::clone(faults),
                         occupancy_integral: 0.0,
                         occupancy_last: SimTime::ZERO,
                     }
                 });
                 SimNode {
-                    name: n.name().to_owned(),
+                    name: gn.name().to_owned(),
                     runtime,
                     arrivals: 0,
                     served: 0,
@@ -435,7 +581,6 @@ impl<'a> SimulationBuilder<'a> {
             });
         }
 
-        let n = nodes.len();
         let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut out_cum: Vec<Vec<f64>> = vec![Vec::new(); n];
         for (i, e) in self.graph.edges().iter().enumerate() {
@@ -466,6 +611,16 @@ impl<'a> SimulationBuilder<'a> {
             cfg.max_packets.saturating_mul(per_packet).max(1_000)
         };
 
+        // Calendar-queue day width: target the mean inter-*event* gap,
+        // estimated as the mean inter-packet gap divided by the events
+        // a packet generates traversing the pipeline.
+        let rate = self.traffic.mean_packet_rate();
+        let wheel_gap_ps = if rate > 0.0 {
+            (1e12 / rate / (n as f64 + 2.0)) as u64
+        } else {
+            0
+        };
+
         Ok(Simulation {
             nodes,
             edges,
@@ -485,6 +640,7 @@ impl<'a> SimulationBuilder<'a> {
             retry,
             deadline,
             max_events,
+            wheel_gap_ps,
         })
     }
 
@@ -558,6 +714,9 @@ pub struct Simulation {
     retry: Option<RetryPolicy>,
     deadline: Option<SimTime>,
     max_events: u64,
+    /// Estimated mean inter-event gap, sizing the calendar wheel's day
+    /// width.
+    wheel_gap_ps: u64,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -571,8 +730,13 @@ impl std::fmt::Debug for Simulation {
 }
 
 struct RunState {
-    events: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     seq: u64,
+    /// All in-flight packets; events reference slots by handle.
+    arena: PacketArena,
+    /// Reused scratch buffer for deadline-reaped handles — taken and
+    /// restored by `finish` so the drain loop never allocates.
+    scratch_expired: Vec<PacketHandle>,
     injected: u64,
     total_injected: u64,
     completed: u64,
@@ -582,24 +746,17 @@ struct RunState {
     retries: u64,
     timed_out: u64,
     corrupted: u64,
-    /// Retry attempts consumed per in-flight packet id; entries are
-    /// removed at the egress so the map only holds packets that have
-    /// actually been refused somewhere.
-    attempts: HashMap<u64, u32>,
-    latencies: Vec<SimTime>,
+    recorder: LatencyRecorder,
     class_completed: Vec<u64>,
     class_bytes: Vec<u64>,
     class_latency: Vec<SimTime>,
 }
 
 impl RunState {
-    fn push(&mut self, time: SimTime, kind: EventKind) {
+    #[inline]
+    fn push(&mut self, time: SimTime, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+        self.queue.push(time.as_picos(), self.seq, ev);
     }
 }
 
@@ -620,6 +777,7 @@ impl Simulation {
             trace: None,
             outages: Vec::new(),
             plan: FaultPlan::new(),
+            compiled: None,
         }
     }
 
@@ -634,8 +792,13 @@ impl Simulation {
         let end = SimTime::from_secs(self.config.duration.as_secs());
         let warmup = SimTime::from_secs(self.config.warmup.as_secs());
         let mut st = RunState {
-            events: BinaryHeap::new(),
+            queue: match self.config.engine {
+                Engine::Calendar => EventQueue::Wheel(CalendarQueue::new(self.wheel_gap_ps)),
+                Engine::ReferenceHeap => EventQueue::Heap(BinaryHeap::new()),
+            },
             seq: 0,
+            arena: PacketArena::new(),
+            scratch_expired: Vec::new(),
             injected: 0,
             total_injected: 0,
             completed: 0,
@@ -645,8 +808,7 @@ impl Simulation {
             retries: 0,
             timed_out: 0,
             corrupted: 0,
-            attempts: HashMap::new(),
-            latencies: Vec::new(),
+            recorder: LatencyRecorder::new(),
             class_completed: Vec::new(),
             class_bytes: Vec::new(),
             class_latency: Vec::new(),
@@ -656,21 +818,19 @@ impl Simulation {
             if let Some(first) = self.source.next_injection(&mut self.rng) {
                 let t = SimTime::ZERO + first.gap;
                 if t <= end {
-                    st.push(
-                        t,
-                        EventKind::Arrive {
-                            node: self.ingress,
-                            pkt: Packet::new(first.id, first.size, t, first.class),
-                        },
-                    );
-                    st.push(t, EventKind::Inject);
+                    let h = st
+                        .arena
+                        .alloc(Packet::new(first.id, first.size, t, first.class));
+                    st.push(t, Ev::arrive(self.ingress, h));
+                    st.push(t, Ev::inject());
                 }
             }
         }
 
         let mut processed: u64 = 0;
-        while let Some(Reverse(ev)) = st.events.pop() {
+        while let Some((time_ps, _seq, ev)) = st.queue.pop() {
             processed += 1;
+            let now = SimTime::from_picos(time_ps);
             if processed > self.max_events {
                 let in_flight: u64 = self
                     .nodes
@@ -680,14 +840,13 @@ impl Simulation {
                     .sum();
                 return Err(LogNicError::WatchdogAbort {
                     events: processed,
-                    sim_time: ev.time.as_secs(),
+                    sim_time: now.as_secs(),
                     injected: st.total_injected,
                     in_flight,
                 });
             }
-            let now = ev.time;
-            match ev.kind {
-                EventKind::Inject => {
+            match ev.kind() {
+                K_INJECT => {
                     if st.total_injected + 1 >= self.config.max_packets {
                         continue;
                     }
@@ -696,32 +855,28 @@ impl Simulation {
                     };
                     let t = now + inj.gap;
                     if t <= end {
-                        st.push(
-                            t,
-                            EventKind::Arrive {
-                                node: self.ingress,
-                                pkt: Packet::new(inj.id, inj.size, t, inj.class),
-                            },
-                        );
-                        st.push(t, EventKind::Inject);
+                        let h = st.arena.alloc(Packet::new(inj.id, inj.size, t, inj.class));
+                        st.push(t, Ev::arrive(self.ingress, h));
+                        st.push(t, Ev::inject());
                     }
                 }
-                EventKind::Arrive { node, pkt } => {
+                K_ARRIVE => {
+                    let node = ev.node();
                     if node == self.ingress {
                         st.total_injected += 1;
-                        if pkt.injected_at >= warmup {
+                        if st.arena.get(ev.pkt).injected_at >= warmup {
                             st.injected += 1;
                         }
                     }
-                    self.arrive(node, pkt, now, warmup, end, &mut st);
+                    self.arrive(node, ev.pkt, now, warmup, end, &mut st);
                 }
-                EventKind::Done { node, pkt } => {
-                    self.finish(node, pkt, now, warmup, end, &mut st);
+                _ => {
+                    self.finish(ev.node(), ev.pkt, now, warmup, end, &mut st);
                 }
             }
         }
 
-        Ok(self.report(end, warmup, st))
+        Ok(self.report(end, warmup, st, processed))
     }
 
     /// Accumulates `node`'s in-system occupancy integral up to
@@ -762,30 +917,38 @@ impl Simulation {
     /// Handles a packet refused at `node` (outage, probabilistic drop
     /// or queue overflow): re-presents it after exponential backoff
     /// while retry budget remains, otherwise drops it.
-    fn fail(&mut self, node: usize, pkt: Packet, now: SimTime, warmup: SimTime, st: &mut RunState) {
+    fn fail(
+        &mut self,
+        node: usize,
+        h: PacketHandle,
+        now: SimTime,
+        warmup: SimTime,
+        st: &mut RunState,
+    ) {
         if let Some(rp) = self.retry {
-            let attempts = st.attempts.entry(pkt.id).or_insert(0);
-            if *attempts < rp.budget() {
-                let backoff = SimTime::from_secs(rp.backoff_for(*attempts).as_secs());
-                *attempts += 1;
+            let attempts = st.arena.get(h).attempts;
+            if attempts < rp.budget() {
+                let backoff = SimTime::from_secs(rp.backoff_for(attempts).as_secs());
+                let pkt = st.arena.get_mut(h);
+                pkt.attempts = attempts + 1;
                 if pkt.injected_at >= warmup {
                     st.retries += 1;
                 }
-                st.push(now + backoff, EventKind::Arrive { node, pkt });
+                st.push(now + backoff, Ev::arrive(node, h));
                 return;
             }
-            st.attempts.remove(&pkt.id);
         }
         self.nodes[node].drops += 1;
-        if pkt.injected_at >= warmup {
+        if st.arena.get(h).injected_at >= warmup {
             st.dropped += 1;
         }
+        st.arena.free(h);
     }
 
     fn arrive(
         &mut self,
         node: usize,
-        mut pkt: Packet,
+        h: PacketHandle,
         now: SimTime,
         warmup: SimTime,
         end: SimTime,
@@ -796,19 +959,20 @@ impl Simulation {
         // retry backoffs) exceeds the plan-wide deadline is timed out
         // wherever it is next observed, not served.
         if let Some(deadline) = self.deadline {
-            if pkt.latency_at(now) > deadline {
+            let injected_at = st.arena.get(h).injected_at;
+            if now.since(injected_at) > deadline {
                 self.nodes[node].drops += 1;
-                st.attempts.remove(&pkt.id);
-                if pkt.injected_at >= warmup {
+                if injected_at >= warmup {
                     st.dropped += 1;
                     st.timed_out += 1;
                 }
+                st.arena.free(h);
                 return;
             }
         }
         if self.nodes[node].runtime.is_none() {
             // Pure mover: forward immediately (the egress completes).
-            self.forward(node, pkt, now, warmup, end, st);
+            self.forward(node, h, now, warmup, end, st);
             return;
         }
         self.touch_occupancy(node, now, end);
@@ -830,15 +994,15 @@ impl Simulation {
                 )
             };
             if is_out {
-                self.fail(node, pkt, now, warmup, st);
+                self.fail(node, h, now, warmup, st);
                 return;
             }
             if drop_p > 0.0 && self.rng.uniform() < drop_p {
-                self.fail(node, pkt, now, warmup, st);
+                self.fail(node, h, now, warmup, st);
                 return;
             }
             if corrupt_p > 0.0 && self.rng.uniform() < corrupt_p {
-                pkt.corrupted = true;
+                st.arena.get_mut(h).corrupted = true;
             }
             credit_penalty = self.nodes[node]
                 .runtime
@@ -848,13 +1012,14 @@ impl Simulation {
                 .credit_loss_at(now);
         }
         if busy < engines {
-            let occupancy = self.start_service(node, now, &pkt);
-            st.push(now + occupancy, EventKind::Done { node, pkt });
+            let occupancy = self.start_service(node, now, st.arena.get(h));
+            st.push(now + occupancy, Ev::done(node, h));
             return;
         }
+        let class = st.arena.get(h).class;
         let (admitted, depth) = {
             let rt = self.nodes[node].runtime.as_mut().expect("compute node");
-            let admitted = rt.queue.enqueue(pkt, busy, credit_penalty);
+            let admitted = rt.queue.enqueue(h, class, busy, credit_penalty);
             (admitted, rt.queue.len())
         };
         if admitted {
@@ -862,14 +1027,14 @@ impl Simulation {
                 self.nodes[node].max_queue = depth;
             }
         } else {
-            self.fail(node, pkt, now, warmup, st);
+            self.fail(node, h, now, warmup, st);
         }
     }
 
     fn finish(
         &mut self,
         node: usize,
-        pkt: Packet,
+        h: PacketHandle,
         now: SimTime,
         warmup: SimTime,
         end: SimTime,
@@ -878,7 +1043,8 @@ impl Simulation {
         self.nodes[node].served += 1;
         self.touch_occupancy(node, now, end);
         let deadline = self.deadline;
-        let (next, expired) = {
+        let mut expired = std::mem::take(&mut st.scratch_expired);
+        let next = {
             let rt = self.nodes[node]
                 .runtime
                 .as_mut()
@@ -888,12 +1054,11 @@ impl Simulation {
             // plan deadline are reaped instead of served — serving
             // them would waste engine time on answers nobody waits
             // for.
-            let mut expired: Vec<Packet> = Vec::new();
-            let next = loop {
+            loop {
                 match rt.queue.dequeue() {
                     Some(p) => {
                         if let Some(dl) = deadline {
-                            if p.latency_at(now) > dl {
+                            if now.since(st.arena.get(p).injected_at) > dl {
                                 expired.push(p);
                                 continue;
                             }
@@ -902,42 +1067,44 @@ impl Simulation {
                     }
                     None => break None,
                 }
-            };
-            (next, expired)
+            }
         };
-        for p in expired {
+        for p in expired.drain(..) {
             self.nodes[node].drops += 1;
-            st.attempts.remove(&p.id);
-            if p.injected_at >= warmup {
+            let injected_at = st.arena.get(p).injected_at;
+            st.arena.free(p);
+            if injected_at >= warmup {
                 st.dropped += 1;
                 st.timed_out += 1;
             }
         }
+        st.scratch_expired = expired;
         if let Some(next) = next {
-            let occupancy = self.start_service(node, now, &next);
-            st.push(now + occupancy, EventKind::Done { node, pkt: next });
+            let occupancy = self.start_service(node, now, st.arena.get(next));
+            st.push(now + occupancy, Ev::done(node, next));
         }
-        self.forward(node, pkt, now, warmup, end, st);
+        self.forward(node, h, now, warmup, end, st);
     }
 
     fn forward(
         &mut self,
         node: usize,
-        pkt: Packet,
+        h: PacketHandle,
         now: SimTime,
         warmup: SimTime,
         end: SimTime,
         st: &mut RunState,
     ) {
         if node == self.egress {
-            st.attempts.remove(&pkt.id);
+            let pkt = *st.arena.get(h);
+            st.arena.free(h);
             if pkt.injected_at >= warmup {
                 st.completed += 1;
                 if pkt.corrupted {
                     st.corrupted += 1;
                 }
                 let latency = pkt.latency_at(now);
-                st.latencies.push(latency);
+                st.recorder.record(latency);
                 let c = pkt.class as usize;
                 if st.class_completed.len() <= c {
                     st.class_completed.resize(c + 1, 0);
@@ -962,27 +1129,29 @@ impl Simulation {
         }
         let outs = &self.out_edges[node];
         if outs.is_empty() {
+            st.arena.free(h);
             return;
         }
         let pick = self.rng.pick_cumulative(&self.out_cum[node]);
         let eid = outs[pick];
-        let edge = &self.edges[eid];
-        let dst = edge.dst;
-        // Compression/decompression edges resize the request; the
-        // resized data is what crosses the media and what downstream
-        // stages compute on.
-        let pkt = if (edge.resize - 1.0).abs() > f64::EPSILON {
-            let mut resized = Packet::new(
-                pkt.id,
-                pkt.size.scaled(edge.resize),
-                pkt.injected_at,
-                pkt.class,
-            );
-            resized.corrupted = pkt.corrupted;
-            resized
-        } else {
-            pkt
+        let (dst, interface_pp, memory_pp, dedicated, resize) = {
+            let e = &self.edges[eid];
+            (
+                e.dst,
+                e.interface_per_packet,
+                e.memory_per_packet,
+                e.dedicated,
+                e.resize,
+            )
         };
+        // Compression/decompression edges resize the request in place;
+        // the resized data is what crosses the media and what
+        // downstream stages compute on.
+        if (resize - 1.0).abs() > f64::EPSILON {
+            let p = st.arena.get_mut(h);
+            p.size = p.size.scaled(resize);
+        }
+        let size = st.arena.get(h).size;
 
         // Finite ingress buffering: transfers issued by the ingress
         // engine are refused (RX overflow) once a medium's backlog
@@ -996,38 +1165,35 @@ impl Simulation {
             SimTime::MAX
         };
         let mut t = Some(now);
-        if edge.interface_per_packet > 0.0 {
-            t = t.and_then(|at| {
-                self.media[0].try_acquire(at, pkt.size.scaled(edge.interface_per_packet), cap)
-            });
+        if interface_pp > 0.0 {
+            t = t.and_then(|at| self.media[0].try_acquire(at, size.scaled(interface_pp), cap));
         }
-        if edge.memory_per_packet > 0.0 {
-            t = t.and_then(|at| {
-                self.media[1].try_acquire(at, pkt.size.scaled(edge.memory_per_packet), cap)
-            });
+        if memory_pp > 0.0 {
+            t = t.and_then(|at| self.media[1].try_acquire(at, size.scaled(memory_pp), cap));
         }
-        if let Some(d) = edge.dedicated {
-            t = t.and_then(|at| self.media[d].try_acquire(at, pkt.size, cap));
+        if let Some(d) = dedicated {
+            t = t.and_then(|at| self.media[d].try_acquire(at, size, cap));
         }
         match t {
             Some(at) if at != SimTime::MAX => {
-                st.push(at, EventKind::Arrive { node: dst, pkt });
+                st.push(at, Ev::arrive(dst, h));
             }
             _ => {
                 // Medium starved or its buffering overflowed. Media
                 // rejections are not retried — the packet never held
                 // node credits, and RX overflow under sustained
                 // overload would retry forever.
-                st.attempts.remove(&pkt.id);
                 self.nodes[node].drops += 1;
-                if pkt.injected_at >= warmup {
+                let injected_at = st.arena.get(h).injected_at;
+                st.arena.free(h);
+                if injected_at >= warmup {
                     st.dropped += 1;
                 }
             }
         }
     }
 
-    fn report(&self, end: SimTime, warmup: SimTime, st: RunState) -> SimReport {
+    fn report(&self, end: SimTime, warmup: SimTime, st: RunState, events: u64) -> SimReport {
         let window = end.since(warmup).to_seconds();
         let secs = window.as_secs().max(f64::MIN_POSITIVE);
         let nodes = self
@@ -1092,7 +1258,8 @@ impl Simulation {
             timed_out: st.timed_out,
             corrupted: st.corrupted,
             packet_rate: st.completed as f64 / secs,
-            latency: LatencySummary::from_samples(st.latencies),
+            events,
+            latency: LatencySummary::from_recorder(&st.recorder),
             classes,
             nodes,
             media,
@@ -1800,5 +1967,149 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, LogNicError::InvalidConfig { .. }), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+
+    use lognic_model::params::IpParams;
+    use lognic_model::units::Bytes;
+
+    fn pipeline() -> ExecutionGraph {
+        ExecutionGraph::chain(
+            "p",
+            &[
+                (
+                    "parse",
+                    IpParams::new(Bandwidth::gbps(12.0)).with_parallelism(2),
+                ),
+                (
+                    "crypto",
+                    IpParams::new(Bandwidth::gbps(8.0)).with_queue_capacity(24),
+                ),
+                ("dma", IpParams::new(Bandwidth::gbps(16.0))),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn hw() -> HardwareModel {
+        HardwareModel::new(Bandwidth::gbps(100.0), Bandwidth::gbps(80.0))
+    }
+
+    fn run_with(engine: Engine, seed: u64, plan: Option<&FaultPlan>) -> SimReport {
+        let g = pipeline();
+        let hw = hw();
+        let t = TrafficProfile::fixed(Bandwidth::gbps(6.0), Bytes::new(1024));
+        let mut b = Simulation::builder(&g, &hw, &t)
+            .seed(seed)
+            .engine(engine)
+            .duration(Seconds::millis(6.0))
+            .warmup(Seconds::millis(1.0));
+        if let Some(p) = plan {
+            b = b.with_fault_plan(p.clone());
+        }
+        b.run().unwrap()
+    }
+
+    #[test]
+    fn reference_heap_engine_is_bit_identical() {
+        // Both engines pop events in exactly (time, seq) order, so
+        // every field of the report — counters, percentiles, media
+        // utilizations, even the processed-event total — must match
+        // bit for bit across a seed sweep.
+        for seed in [1, 7, 42, 1234, 99_999] {
+            let wheel = run_with(Engine::Calendar, seed, None);
+            let heap = run_with(Engine::ReferenceHeap, seed, None);
+            assert!(wheel.completed > 0, "seed {seed}: silent run");
+            assert_eq!(wheel, heap, "seed {seed}: engines diverged");
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_faults() {
+        // Faults exercise the retry/backoff, deadline-reap and
+        // corruption paths — all RNG-coupled, so any scheduling
+        // divergence would desynchronize the stream and show up here.
+        let plan = FaultPlan::new()
+            .outage("crypto", Seconds::millis(2.0), Seconds::millis(2.6))
+            .drop_packets("parse", 0.05, Seconds::millis(1.5), Seconds::millis(4.0))
+            .with_retry(RetryPolicy::new(2, Seconds::micros(40.0)))
+            .with_deadline(Seconds::millis(2.0));
+        for seed in [3, 17, 4242] {
+            let wheel = run_with(Engine::Calendar, seed, Some(&plan));
+            let heap = run_with(Engine::ReferenceHeap, seed, Some(&plan));
+            assert_eq!(wheel, heap, "seed {seed}: engines diverged under faults");
+            assert!(
+                wheel.retries > 0 || wheel.dropped > 0,
+                "seed {seed}: plan inert"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_nodes_are_aggregated() {
+        let g = pipeline();
+        let t = TrafficProfile::fixed(Bandwidth::gbps(1.0), Bytes::new(512));
+        // One dangling name keeps the precise single-node error.
+        let err = Simulation::builder(&g, &hw(), &t)
+            .override_queues("ghost", QueuePlan::single(8))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LogNicError::UnknownNode { .. }), "{err}");
+        // Several dangling names across different reference kinds come
+        // back as one aggregate, in declaration order.
+        let err = Simulation::builder(&g, &hw(), &t)
+            .override_service(
+                "phantom",
+                Box::new(RateService::new(
+                    Bandwidth::gbps(1.0),
+                    ServiceDist::Exponential,
+                )),
+            )
+            .override_queues("ghost", QueuePlan::single(8))
+            .inject_outage("wraith", Seconds::millis(1.0), Seconds::millis(2.0))
+            .build()
+            .unwrap_err();
+        match err {
+            LogNicError::UnknownNodes { references } => {
+                let got: Vec<(&str, &str)> =
+                    references.iter().map(|(c, n)| (*c, n.as_str())).collect();
+                assert_eq!(
+                    got,
+                    vec![
+                        ("service override", "phantom"),
+                        ("queue plan", "ghost"),
+                        ("outage", "wraith"),
+                    ]
+                );
+            }
+            other => panic!("expected aggregate error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn compiled_fault_plan_runs_like_declarative() {
+        let g = pipeline();
+        let t = TrafficProfile::fixed(Bandwidth::gbps(6.0), Bytes::new(1024));
+        let plan = FaultPlan::new()
+            .degrade_rate("crypto", 0.4, Seconds::millis(2.0), Seconds::millis(4.0))
+            .with_retry(RetryPolicy::new(1, Seconds::micros(25.0)));
+        let compiled = CompiledFaultPlan::compile(&plan, &g).unwrap();
+        for seed in [5, 55] {
+            let declarative = Simulation::builder(&g, &hw(), &t)
+                .seed(seed)
+                .with_fault_plan(plan.clone())
+                .run()
+                .unwrap();
+            let shared = Simulation::builder(&g, &hw(), &t)
+                .seed(seed)
+                .with_compiled_faults(&compiled)
+                .run()
+                .unwrap();
+            assert_eq!(declarative, shared, "seed {seed}");
+        }
     }
 }

@@ -6,8 +6,15 @@
 //! default single-queue plan) or keep them distinct, which is what
 //! multi-tenant isolation experiments need: one tenant overflowing its
 //! own queue must not drop another tenant's packets.
+//!
+//! Queues hold dense [`PacketHandle`]s into the run's packet arena,
+//! not `Packet` values — enqueue/dequeue move a `u32`, and once the
+//! per-queue rings reach their peak depth the front end performs no
+//! further heap allocation.
+//!
+//! [`PacketHandle`]: crate::arena::PacketHandle
 
-use crate::packet::Packet;
+use crate::arena::PacketHandle;
 use std::collections::VecDeque;
 
 /// Configuration of one input queue.
@@ -68,7 +75,7 @@ impl QueuePlan {
 #[derive(Debug)]
 pub struct WrrQueues {
     specs: Vec<QueueSpec>,
-    queues: Vec<VecDeque<Packet>>,
+    queues: Vec<VecDeque<PacketHandle>>,
     /// WRR cursor: which queue the scheduler is draining.
     cursor: usize,
     /// Deficit remaining for the cursor queue in this round.
@@ -92,37 +99,37 @@ impl WrrQueues {
         }
     }
 
-    /// The queue index a packet maps to.
-    pub fn queue_for(&self, pkt: &Packet) -> usize {
-        pkt.class as usize % self.queues.len()
+    /// The queue index a traffic class maps to.
+    pub fn queue_for(&self, class: u32) -> usize {
+        class as usize % self.queues.len()
     }
 
-    /// Enqueues a packet; returns `false` (a drop) when the packet's
-    /// queue is full.
-    pub fn enqueue(&mut self, pkt: Packet) -> bool {
-        let idx = self.queue_for(&pkt);
+    /// Enqueues a packet handle; returns `false` (a drop) when the
+    /// class's queue is full.
+    pub fn enqueue(&mut self, class: u32, handle: PacketHandle) -> bool {
+        let idx = self.queue_for(class);
         if self.queues[idx].len() >= self.specs[idx].capacity as usize {
             self.drops[idx] += 1;
             return false;
         }
-        self.queues[idx].push_back(pkt);
+        self.queues[idx].push_back(handle);
         true
     }
 
-    /// Dequeues the next packet under weighted round-robin: the
+    /// Dequeues the next packet handle under weighted round-robin: the
     /// scheduler serves up to `weight` packets from the cursor queue,
     /// then moves on; empty queues are skipped without consuming their
     /// turn.
-    pub fn dequeue(&mut self) -> Option<Packet> {
+    pub fn dequeue(&mut self) -> Option<PacketHandle> {
         let m = self.queues.len();
         if self.queues.iter().all(VecDeque::is_empty) {
             return None;
         }
         loop {
             if self.remaining > 0 {
-                if let Some(pkt) = self.queues[self.cursor].pop_front() {
+                if let Some(h) = self.queues[self.cursor].pop_front() {
                     self.remaining -= 1;
-                    return Some(pkt);
+                    return Some(h);
                 }
             }
             self.cursor = (self.cursor + 1) % m;
@@ -159,21 +166,15 @@ impl WrrQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::time::SimTime;
-    use lognic_model::units::Bytes;
-
-    fn pkt(id: u64, class: u32) -> Packet {
-        Packet::new(id, Bytes::new(64), SimTime::ZERO, class)
-    }
 
     #[test]
     fn single_plan_behaves_fifo() {
         let mut q = WrrQueues::new(&QueuePlan::single(4));
         for i in 0..4 {
-            assert!(q.enqueue(pkt(i, 0)));
+            assert!(q.enqueue(0, i));
         }
-        assert!(!q.enqueue(pkt(9, 0)), "fifth packet overflows");
-        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        assert!(!q.enqueue(0, 9), "fifth packet overflows");
+        let order: Vec<PacketHandle> = std::iter::from_fn(|| q.dequeue()).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(q.queue_drops(0), 1);
     }
@@ -191,16 +192,17 @@ mod tests {
             },
         ]);
         let q = WrrQueues::new(&plan);
-        assert_eq!(q.queue_for(&pkt(0, 0)), 0);
-        assert_eq!(q.queue_for(&pkt(0, 1)), 1);
-        assert_eq!(q.queue_for(&pkt(0, 5)), 1);
+        assert_eq!(q.queue_for(0), 0);
+        assert_eq!(q.queue_for(1), 1);
+        assert_eq!(q.queue_for(5), 1);
         assert_eq!(q.queue_count(), 2);
     }
 
     #[test]
     fn weighted_drain_follows_weights() {
         // Weights 3:1 — the scheduler serves three from queue 0 per
-        // one from queue 1 while both are backlogged.
+        // one from queue 1 while both are backlogged. Handles encode
+        // the class in their low bit for the assertion.
         let plan = QueuePlan::weighted(vec![
             QueueSpec {
                 capacity: 32,
@@ -213,11 +215,11 @@ mod tests {
         ]);
         let mut q = WrrQueues::new(&plan);
         for i in 0..12 {
-            assert!(q.enqueue(pkt(i, 0)));
-            assert!(q.enqueue(pkt(100 + i, 1)));
+            assert!(q.enqueue(0, i * 2));
+            assert!(q.enqueue(1, i * 2 + 1));
         }
-        let first8: Vec<u32> = (0..8).map(|_| q.dequeue().unwrap().class).collect();
-        let zeros = first8.iter().filter(|c| **c == 0).count();
+        let first8: Vec<PacketHandle> = (0..8).map(|_| q.dequeue().unwrap()).collect();
+        let zeros = first8.iter().filter(|h| *h % 2 == 0).count();
         assert_eq!(zeros, 6, "3:1 weighting over 8 dequeues: {first8:?}");
     }
 
@@ -236,9 +238,9 @@ mod tests {
         let mut q = WrrQueues::new(&plan);
         // Only class 1 traffic: the scheduler must skip queue 0.
         for i in 0..4 {
-            assert!(q.enqueue(pkt(i, 1)));
+            assert!(q.enqueue(1, i));
         }
-        let drained: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        let drained: Vec<PacketHandle> = std::iter::from_fn(|| q.dequeue()).collect();
         assert_eq!(drained, vec![0, 1, 2, 3]);
         assert!(q.is_empty());
     }
@@ -258,11 +260,11 @@ mod tests {
         let mut q = WrrQueues::new(&plan);
         // Class 0 floods its 2-entry queue.
         for i in 0..6 {
-            q.enqueue(pkt(i, 0));
+            q.enqueue(0, i);
         }
         // Class 1 is unaffected.
         for i in 0..6 {
-            assert!(q.enqueue(pkt(100 + i, 1)), "class 1 must not drop");
+            assert!(q.enqueue(1, 100 + i), "class 1 must not drop");
         }
         assert_eq!(q.queue_drops(0), 4);
         assert_eq!(q.queue_drops(1), 0);
@@ -307,7 +309,7 @@ mod tests {
                 let mut q = WrrQueues::new(&plan);
                 let mut admitted = 0u64;
                 for (i, class) in classes.iter().enumerate() {
-                    if q.enqueue(pkt(i as u64, *class)) {
+                    if q.enqueue(*class, i as PacketHandle) {
                         admitted += 1;
                     }
                 }
@@ -328,7 +330,7 @@ mod tests {
                 let classes = g.vec(1..300, |g| g.u32(0..8));
                 let mut q = WrrQueues::new(&plan);
                 for (i, class) in classes.iter().enumerate() {
-                    let _ = q.enqueue(pkt(i as u64, *class));
+                    let _ = q.enqueue(*class, i as PacketHandle);
                     for idx in 0..q.queue_count() {
                         ensure!(
                             q.queue_len(idx) <= plan.queues()[idx].capacity as usize,
@@ -347,14 +349,14 @@ mod tests {
                 let count = g.usize(1..50);
                 // All packets in one class drain in insertion order.
                 let mut q = WrrQueues::new(&plan);
-                let mut admitted_ids = Vec::new();
+                let mut admitted = Vec::new();
                 for i in 0..count {
-                    if q.enqueue(pkt(i as u64, 0)) {
-                        admitted_ids.push(i as u64);
+                    if q.enqueue(0, i as PacketHandle) {
+                        admitted.push(i as PacketHandle);
                     }
                 }
-                let drained: Vec<u64> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
-                ensure_eq!(drained, admitted_ids);
+                let drained: Vec<PacketHandle> = std::iter::from_fn(|| q.dequeue()).collect();
+                ensure_eq!(drained, admitted);
                 Ok(())
             });
         }

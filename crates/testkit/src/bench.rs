@@ -32,6 +32,50 @@ impl Bencher {
     }
 }
 
+/// The result of measuring one benchmark: per-iteration wall times in
+/// nanoseconds, plus the schedule that produced them.
+///
+/// Returned by [`Bench::measure`] so callers (perf baselines, CI
+/// gates) can act on the numbers instead of scraping stdout.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// The benchmark's display name.
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters: u64,
+    /// Minimum per-iteration time across samples, in nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl Measurement {
+    /// Iterations per second at the minimum observed per-iteration
+    /// time (the conventional throughput figure — min filters
+    /// scheduler noise).
+    pub fn per_sec(&self) -> f64 {
+        if self.min_ns <= 0.0 {
+            return 0.0;
+        }
+        1e9 / self.min_ns
+    }
+
+    /// The one-line summary [`Bench::bench_function`] prints.
+    pub fn summary(&self, sample_size: usize) -> String {
+        format!(
+            "{:<40} min {:>12} median {:>12} mean {:>12} ({} iters x {} samples)",
+            self.name,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            fmt_ns(self.mean_ns),
+            self.iters,
+            sample_size,
+        )
+    }
+}
+
 /// The benchmark harness: configuration plus a results printer.
 #[derive(Debug, Clone)]
 pub struct Bench {
@@ -67,11 +111,11 @@ impl Bench {
         self
     }
 
-    /// Measures `run` and prints one summary line.
+    /// Measures `run` and returns the [`Measurement`] without printing.
     ///
     /// `run` receives a [`Bencher`] and must call [`Bencher::iter`]
     /// exactly once around the expression under test.
-    pub fn bench_function(&mut self, name: &str, mut run: impl FnMut(&mut Bencher)) {
+    pub fn measure(&mut self, name: &str, mut run: impl FnMut(&mut Bencher)) -> Measurement {
         // Calibration: one iteration, to size the batches.
         let mut b = Bencher {
             iters: 1,
@@ -92,16 +136,20 @@ impl Bench {
             per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
         }
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
-        let min = per_iter_ns[0];
-        let median = per_iter_ns[per_iter_ns.len() / 2];
-        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
-        println!(
-            "{name:<40} min {:>12} median {:>12} mean {:>12} ({iters} iters x {} samples)",
-            fmt_ns(min),
-            fmt_ns(median),
-            fmt_ns(mean),
-            self.sample_size,
-        );
+        Measurement {
+            name: name.to_owned(),
+            iters,
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+        }
+    }
+
+    /// Measures `run` and prints one summary line (the criterion-shaped
+    /// entry point; delegates to [`Bench::measure`]).
+    pub fn bench_function(&mut self, name: &str, run: impl FnMut(&mut Bencher)) {
+        let m = self.measure(name, run);
+        println!("{}", m.summary(self.sample_size));
     }
 }
 
@@ -134,6 +182,26 @@ mod tests {
             })
         });
         assert!(counter > 0, "the body actually ran");
+    }
+
+    #[test]
+    fn measure_returns_ordered_statistics() {
+        let mut b = Bench::new()
+            .sample_size(5)
+            .target_sample(Duration::from_micros(50));
+        let mut x = 0u64;
+        let m = b.measure("spin", |bencher| {
+            bencher.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+        });
+        assert_eq!(m.name, "spin");
+        assert!(m.iters >= 1);
+        assert!(m.min_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns);
+        assert!(m.per_sec() > 0.0);
+        assert!(m.summary(5).contains("spin"));
     }
 
     #[test]

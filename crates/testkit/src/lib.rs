@@ -26,7 +26,7 @@ pub mod check;
 pub mod gen;
 pub mod rng;
 
-pub use bench::Bench;
+pub use bench::{Bench, Measurement};
 pub use check::{CaseResult, Property};
 pub use gen::Gen;
 pub use rng::Xoshiro256pp;
