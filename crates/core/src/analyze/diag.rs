@@ -1,0 +1,475 @@
+//! The diagnostic type and its renderers.
+//!
+//! Every analysis pass reports findings as [`Diagnostic`]s: a stable
+//! `L0xxx` [`Code`], a resolved [`Severity`], a primary [`Span`]
+//! locating the finding in the scenario description, labeled notes,
+//! and an optional suggested fix. Two renderers ship with the type:
+//! a span-style, color-aware human format and a machine-readable
+//! JSON-lines format (one object per line, no external dependencies).
+
+use core::fmt;
+
+use crate::graph::{EdgeId, NodeId};
+
+/// How a diagnostic participates in gating.
+///
+/// Severities are ordered: `Allow < Warn < Deny`. A run is *rejected*
+/// when at least one `Deny` diagnostic fires; `Warn` findings are
+/// reported but do not gate; `Allow` findings are suppressed from
+/// default reports (they exist so a code can be turned off — or
+/// re-enabled — per run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suppressed: recorded only when explicitly requested.
+    Allow,
+    /// Reported, does not gate.
+    Warn,
+    /// Reported and rejects the scenario.
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase label used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warning",
+            Severity::Deny => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! codes {
+    ($($(#[doc = $doc:literal])+ $variant:ident = ($code:literal, $slug:literal, $default:ident),)+) => {
+        /// A stable diagnostic code (`L0xxx`).
+        ///
+        /// The hundreds digit groups codes by pass family: `L01xx`
+        /// traffic conservation, `L02xx` static saturation, `L03xx`
+        /// credit deadlock, `L04xx` unit/dimension consistency,
+        /// `L05xx` multi-tenant consolidation, `L06xx` fault-plan
+        /// reachability.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[non_exhaustive]
+        pub enum Code {
+            $($(#[doc = $doc])+ $variant,)+
+        }
+
+        impl Code {
+            /// All codes, in numeric order.
+            pub const ALL: &'static [Code] = &[$(Code::$variant,)+];
+
+            /// The stable `L0xxx` identifier.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $code,)+
+                }
+            }
+
+            /// A short kebab-case name for the check.
+            pub fn slug(self) -> &'static str {
+                match self {
+                    $(Code::$variant => $slug,)+
+                }
+            }
+
+            /// The severity the code carries unless a run's
+            /// [`crate::analyze::AnalysisConfig`] overrides it.
+            pub fn default_severity(self) -> Severity {
+                match self {
+                    $(Code::$variant => Severity::$default,)+
+                }
+            }
+
+            /// Parses an `L0xxx` identifier or kebab-case slug.
+            pub fn parse(s: &str) -> Option<Code> {
+                Code::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| c.as_str().eq_ignore_ascii_case(s) || c.slug() == s)
+            }
+        }
+    };
+}
+
+codes! {
+    /// A vertex's declared outgoing `Σδ` exceeds its incoming `Σδ`:
+    /// the graph creates traffic out of thin air.
+    TrafficCreated = ("L0101", "traffic-created", Warn),
+    /// A fan-out vertex's outgoing `Σδ` falls short of its incoming
+    /// `Σδ`: part of the flow silently disappears. Often intentional
+    /// (filters, caches), so allowed by default.
+    TrafficLost = ("L0102", "traffic-lost", Allow),
+    /// A compute vertex the propagated flow never reaches.
+    StarvedNode = ("L0103", "starved-node", Warn),
+    /// An edge declares interface/memory usage but carries no traffic.
+    MediumOnEmptyEdge = ("L0104", "medium-on-empty-edge", Warn),
+    /// A component's utilization `ρ = offered / capacity` is ≥ 1: the
+    /// partition saturates before any simulation is run.
+    SaturatedPartition = ("L0201", "saturated-partition", Warn),
+    /// A component's utilization exceeds the near-saturation threshold
+    /// (0.9 by default) without reaching 1.
+    NearSaturation = ("L0202", "near-saturation", Allow),
+    /// Same-named bounded-queue vertices form a back-pressure cycle:
+    /// consolidated tenants traverse shared physical IPs in opposite
+    /// orders and can deadlock on queue credits.
+    CreditCycle = ("L0301", "credit-cycle", Deny),
+    /// A vertex's effective queue capacity is below its parallelism
+    /// degree: some engines can never be fed.
+    QueueBelowParallelism = ("L0302", "queue-below-parallelism", Warn),
+    /// A shared hardware medium (interface or memory) has zero
+    /// bandwidth: every path that touches it starves.
+    DegenerateMedium = ("L0401", "degenerate-medium", Deny),
+    /// The traffic profile offers a zero ingress rate.
+    ZeroIngressRate = ("L0402", "zero-ingress-rate", Deny),
+    /// The packet-size distribution contains a zero-byte size.
+    ZeroPacketSize = ("L0403", "zero-packet-size", Deny),
+    /// The ingress granularity override is zero bytes.
+    ZeroGranularity = ("L0404", "zero-granularity", Deny),
+    /// An edge carries traffic (`δ > 0`) but declares no transport
+    /// medium at all (`α = β = 0`, no dedicated link): the data
+    /// teleports and Eq. 2 charges nothing for the move.
+    EdgeWithoutMedium = ("L0405", "edge-without-medium", Allow),
+    /// Partitions (`γ`) of same-named vertices sum above 1: the
+    /// virtual IPs oversubscribe the physical one.
+    OversubscribedPartition = ("L0501", "oversubscribed-partition", Warn),
+    /// The summed traffic demand of same-named virtual IPs exceeds the
+    /// physical engine's peak: consolidation overloads the engine even
+    /// though each tenant fits alone.
+    ConsolidationOverload = ("L0502", "consolidation-overload", Warn),
+    /// A fault window targets a node name absent from the graph.
+    FaultUnknownNode = ("L0601", "fault-unknown-node", Warn),
+    /// Two same-kind fault windows on one node overlap in time.
+    FaultOverlappingWindows = ("L0602", "fault-overlapping-windows", Warn),
+    /// Loss-inducing faults paired with a zero retry budget.
+    FaultZeroRetryBudget = ("L0603", "fault-zero-retry-budget", Warn),
+    /// A fault window on a node the propagated traffic never reaches:
+    /// the chaos would fire against dead flow.
+    DeadFaultWindow = ("L0604", "dead-fault-window", Warn),
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the scenario description a finding points.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Span {
+    /// The whole program.
+    Graph,
+    /// A vertex of the execution graph.
+    Node {
+        /// The vertex id.
+        id: NodeId,
+        /// The vertex name.
+        name: String,
+    },
+    /// An edge of the execution graph.
+    Edge {
+        /// The edge id.
+        id: EdgeId,
+        /// The source vertex name.
+        src: String,
+        /// The destination vertex name.
+        dst: String,
+    },
+    /// A window of the fault plan.
+    FaultWindow {
+        /// Index of the window inside the plan.
+        index: usize,
+        /// The targeted node name.
+        node: String,
+    },
+    /// A shared hardware medium of the device profile.
+    Hardware {
+        /// `"interface"` or `"memory"`.
+        medium: &'static str,
+    },
+    /// The traffic profile.
+    Traffic,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Graph => write!(f, "execution graph"),
+            Span::Node { id, name } => write!(f, "node `{name}` (#{})", id.index()),
+            Span::Edge { id, src, dst } => {
+                write!(f, "edge #{} `{src}` -> `{dst}`", id.index())
+            }
+            Span::FaultWindow { index, node } => {
+                write!(f, "fault-plan[{index}] on `{node}`")
+            }
+            Span::Hardware { medium } => write!(f, "hardware {medium}"),
+            Span::Traffic => write!(f, "traffic profile"),
+        }
+    }
+}
+
+/// A secondary note attached to a diagnostic, anchored at its own span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Label {
+    /// Where the note points.
+    pub span: Span,
+    /// The note text.
+    pub note: String,
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// The severity after applying the run's configuration.
+    pub severity: Severity,
+    /// The one-line statement of the problem.
+    pub message: String,
+    /// The primary location.
+    pub primary: Span,
+    /// Secondary labeled notes.
+    pub labels: Vec<Label>,
+    /// A suggested fix, when one exists.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at its code's default severity.
+    pub fn new(code: Code, primary: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.default_severity(),
+            message: message.into(),
+            primary,
+            labels: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Attaches a labeled note.
+    pub fn with_label(mut self, span: Span, note: impl Into<String>) -> Self {
+        self.labels.push(Label {
+            span,
+            note: note.into(),
+        });
+        self
+    }
+
+    /// Attaches a suggested fix.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// True when this diagnostic rejects the scenario.
+    pub fn is_denied(&self) -> bool {
+        self.severity == Severity::Deny
+    }
+
+    /// Renders the span-style human format, optionally with ANSI
+    /// color.
+    ///
+    /// ```text
+    /// warning[L0201]: partition `ssd` saturates: rho = 1.33
+    ///   --> node `nvme-ssd` (#2)
+    ///   note: offered 32.000Gbps vs capacity 24.000Gbps
+    ///   help: shed load below 24.000Gbps
+    /// ```
+    pub fn render_human(&self, color: bool) -> String {
+        use core::fmt::Write as _;
+        let (sev_on, bold_on, off) = if color {
+            let sev = match self.severity {
+                Severity::Deny => "\x1b[1;31m",
+                Severity::Warn => "\x1b[1;33m",
+                Severity::Allow => "\x1b[1;36m",
+            };
+            (sev, "\x1b[1m", "\x1b[0m")
+        } else {
+            ("", "", "")
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{sev_on}{}[{}]{off}{bold_on}: {}{off}",
+            self.severity, self.code, self.message
+        );
+        let _ = writeln!(out, "  --> {}", self.primary);
+        for label in &self.labels {
+            if label.span == self.primary || label.span == Span::Graph {
+                let _ = writeln!(out, "  note: {}", label.note);
+            } else {
+                let _ = writeln!(out, "  note[{}]: {}", label.span, label.note);
+            }
+        }
+        if let Some(help) = &self.help {
+            let _ = writeln!(out, "  help: {help}");
+        }
+        out
+    }
+
+    /// Renders the machine format: one JSON object on one line.
+    pub fn render_json(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"check\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"span\":\"{}\"",
+            self.code,
+            self.code.slug(),
+            self.severity,
+            escape_json(&self.message),
+            escape_json(&self.primary.to_string()),
+        );
+        if !self.labels.is_empty() {
+            let _ = write!(out, ",\"notes\":[");
+            for (i, label) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"span\":\"{}\",\"note\":\"{}\"}}",
+                    escape_json(&label.span.to_string()),
+                    escape_json(&label.note)
+                );
+            }
+            out.push(']');
+        }
+        if let Some(help) = &self.help {
+            let _ = write!(out, ",\"help\":\"{}\"", escape_json(help));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.code, self.message, self.primary
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use core::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(
+            Code::SaturatedPartition,
+            Span::Node {
+                id: NodeId(2),
+                name: "ssd".into(),
+            },
+            "partition `ssd` saturates: rho = 1.33",
+        )
+        .with_label(Span::Graph, "offered 32Gbps vs capacity 24Gbps")
+        .with_help("shed load below 24Gbps")
+    }
+
+    #[test]
+    fn codes_are_unique_and_parseable() {
+        for (i, a) in Code::ALL.iter().enumerate() {
+            for b in &Code::ALL[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+                assert_ne!(a.slug(), b.slug());
+            }
+            assert_eq!(Code::parse(a.as_str()), Some(*a));
+            assert_eq!(Code::parse(a.slug()), Some(*a));
+        }
+        assert_eq!(Code::parse("L9999"), None);
+        assert_eq!(Code::parse("l0101"), Some(Code::TrafficCreated));
+    }
+
+    #[test]
+    fn severity_ordering_gates() {
+        assert!(Severity::Allow < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+        assert!(sample().severity == Severity::Warn);
+        assert!(!sample().is_denied());
+    }
+
+    #[test]
+    fn human_render_plain_and_colored() {
+        let d = sample();
+        let plain = d.render_human(false);
+        assert!(plain.contains("warning[L0201]"), "{plain}");
+        assert!(plain.contains("--> node `ssd` (#2)"), "{plain}");
+        assert!(plain.contains("note: offered"), "{plain}");
+        assert!(plain.contains("help: shed load"), "{plain}");
+        assert!(!plain.contains('\x1b'));
+        let colored = d.render_human(true);
+        assert!(colored.contains("\x1b[1;33m"), "{colored}");
+        assert!(colored.contains("\x1b[0m"));
+    }
+
+    #[test]
+    fn json_render_is_one_escaped_line() {
+        let mut d = sample();
+        d.message = "quote \" backslash \\ newline \n".into();
+        let json = d.render_json();
+        assert_eq!(json.lines().count(), 1);
+        assert!(json.starts_with("{\"code\":\"L0201\""), "{json}");
+        assert!(json.contains("\\\""), "{json}");
+        assert!(json.contains("\\\\"), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"help\":"), "{json}");
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Code::CreditCycle.to_string(), "L0301");
+        assert_eq!(Severity::Deny.to_string(), "error");
+        let d = sample();
+        assert!(d.to_string().contains("L0201"));
+        assert!(Span::Edge {
+            id: EdgeId(1),
+            src: "a".into(),
+            dst: "b".into()
+        }
+        .to_string()
+        .contains("`a` -> `b`"));
+        assert_eq!(
+            Span::Hardware { medium: "memory" }.to_string(),
+            "hardware memory"
+        );
+        assert_eq!(Span::Traffic.to_string(), "traffic profile");
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(escape_json("a\u{1}b"), "a\\u0001b");
+        assert_eq!(escape_json("t\tr\r"), "t\\tr\\r");
+    }
+}

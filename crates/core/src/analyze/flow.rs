@@ -1,0 +1,176 @@
+//! The fixpoint dataflow engine: forward δ-flow propagation.
+//!
+//! Starting from the ingress vertex carrying the whole ingress volume
+//! (flow 1.0), flow is pushed forward along edges. At a fan-out vertex
+//! the flow splits proportionally to the outgoing `δ` ratios — the same
+//! split [`ExecutionGraph::paths`] uses — except that a vertex whose
+//! outgoing `δ` all vanish forwards nothing (it declares that no
+//! traffic leaves). The result is, per vertex and per edge, the
+//! fraction of the ingress volume that *actually arrives* given the
+//! declared ratios — which is what the conservation, starvation,
+//! fault-reachability and consolidation passes reason about.
+//!
+//! Execution graphs are DAGs, so the fixpoint converges in one
+//! topological sweep; the engine is nevertheless written as a general
+//! monotone worklist iteration with an iteration cap, so it stays
+//! correct on any future graph shape.
+
+use crate::graph::{EdgeId, ExecutionGraph, NodeId};
+
+/// Flow below this threshold is treated as "no traffic".
+pub const FLOW_EPS: f64 = 1e-9;
+
+/// The solution of one forward δ-flow propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowMap {
+    inflow: Vec<f64>,
+    edge_flow: Vec<f64>,
+}
+
+impl FlowMap {
+    /// The fraction of the ingress volume arriving at a vertex (1.0 at
+    /// the ingress itself).
+    pub fn inflow(&self, id: NodeId) -> f64 {
+        self.inflow[id.index()]
+    }
+
+    /// The fraction of the ingress volume traversing an edge.
+    pub fn edge_flow(&self, id: EdgeId) -> f64 {
+        self.edge_flow[id.index()]
+    }
+
+    /// True when propagated traffic reaches the vertex.
+    pub fn reaches(&self, id: NodeId) -> bool {
+        self.inflow[id.index()] > FLOW_EPS
+    }
+}
+
+/// Propagates δ-flow forward from the ingress to a fixpoint.
+pub fn propagate(graph: &ExecutionGraph) -> FlowMap {
+    let n = graph.nodes().len();
+    let mut inflow = vec![0.0f64; n];
+    let mut edge_flow = vec![0.0f64; graph.edges().len()];
+    inflow[graph.ingress().index()] = 1.0;
+
+    // Monotone worklist: recompute the outgoing split of a vertex
+    // whenever its inflow changed. On a DAG each vertex settles after
+    // all its predecessors have; the cap guards against pathological
+    // inputs (it is never reached for builder-validated graphs).
+    let mut dirty = vec![false; n];
+    let mut worklist = vec![graph.ingress()];
+    dirty[graph.ingress().index()] = true;
+    let cap = n.saturating_mul(graph.edges().len().max(1)).max(16);
+    let mut steps = 0usize;
+    while let Some(at) = worklist.pop() {
+        dirty[at.index()] = false;
+        steps += 1;
+        if steps > cap {
+            break;
+        }
+        let outs = graph.out_edges(at);
+        let total: f64 = outs.iter().map(|e| graph.edge(*e).params().delta()).sum();
+        for eid in outs {
+            let delta = graph.edge(eid).params().delta();
+            let share = if total > FLOW_EPS { delta / total } else { 0.0 };
+            let flow = inflow[at.index()] * share;
+            if (flow - edge_flow[eid.index()]).abs() <= FLOW_EPS {
+                continue;
+            }
+            edge_flow[eid.index()] = flow;
+            // Re-aggregate the destination's inflow from its in-edges.
+            let dst = graph.edge(eid).dst();
+            let agg: f64 = graph
+                .in_edges(dst)
+                .iter()
+                .map(|e| edge_flow[e.index()])
+                .sum();
+            if (agg - inflow[dst.index()]).abs() > FLOW_EPS {
+                inflow[dst.index()] = agg;
+                if !dirty[dst.index()] {
+                    dirty[dst.index()] = true;
+                    worklist.push(dst);
+                }
+            }
+        }
+    }
+    FlowMap { inflow, edge_flow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EdgeParams, IpParams};
+    use crate::units::Bandwidth;
+
+    fn ip(gbps: f64) -> IpParams {
+        IpParams::new(Bandwidth::gbps(gbps))
+    }
+
+    #[test]
+    fn chain_carries_full_flow() {
+        let g = ExecutionGraph::chain("c", &[("a", ip(1.0)), ("b", ip(1.0))]).unwrap();
+        let f = propagate(&g);
+        for (i, _) in g.nodes().iter().enumerate() {
+            assert!((f.inflow(NodeId(i)) - 1.0).abs() < 1e-9, "node {i}");
+        }
+        for (i, _) in g.edges().iter().enumerate() {
+            assert!((f.edge_flow(EdgeId(i)) - 1.0).abs() < 1e-9, "edge {i}");
+        }
+    }
+
+    #[test]
+    fn fanout_splits_proportionally_and_rejoins() {
+        let mut b = ExecutionGraph::builder("f");
+        let ing = b.ingress("in");
+        let x = b.ip("x", ip(1.0));
+        let y = b.ip("y", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, x, EdgeParams::new(0.75).unwrap());
+        b.edge(ing, y, EdgeParams::new(0.25).unwrap());
+        b.edge(x, eg, EdgeParams::new(0.75).unwrap());
+        b.edge(y, eg, EdgeParams::new(0.25).unwrap());
+        let g = b.build().unwrap();
+        let f = propagate(&g);
+        assert!((f.inflow(x) - 0.75).abs() < 1e-9);
+        assert!((f.inflow(y) - 0.25).abs() < 1e-9);
+        assert!((f.inflow(eg) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delta_forwards_nothing() {
+        let mut b = ExecutionGraph::builder("z");
+        let ing = b.ingress("in");
+        let a = b.ip("a", ip(1.0));
+        let d = b.ip("downstream", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, a, EdgeParams::new(0.0).unwrap());
+        b.edge(a, d, EdgeParams::full());
+        b.edge(d, eg, EdgeParams::full());
+        let g = b.build().unwrap();
+        let f = propagate(&g);
+        // `a` is starved, and so is everything downstream of it even
+        // though those edges declare δ = 1.
+        assert!(!f.reaches(a));
+        assert!(!f.reaches(d));
+        assert!(!f.reaches(eg));
+        assert!(f.reaches(ing));
+    }
+
+    #[test]
+    fn lossy_split_propagates_partial_flow() {
+        // A filter that forwards 30% of what it receives.
+        let mut b = ExecutionGraph::builder("l");
+        let ing = b.ingress("in");
+        let filt = b.ip("filter", ip(1.0));
+        let eg = b.egress("out");
+        b.edge(ing, filt, EdgeParams::full());
+        b.edge(filt, eg, EdgeParams::new(0.3).unwrap());
+        let g = b.build().unwrap();
+        let f = propagate(&g);
+        assert!((f.inflow(filt) - 1.0).abs() < 1e-9);
+        // The split share at a single out-edge is δ/Σδ = 1, so the
+        // whole arriving flow continues: δ describes *volume*, and the
+        // propagation tracks reachability-weighted share.
+        assert!(f.reaches(eg));
+    }
+}

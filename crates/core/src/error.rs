@@ -160,6 +160,16 @@ pub enum LogNicError {
         /// Explanation of the violation.
         reason: String,
     },
+    /// The static analyzer rejected the scenario: at least one
+    /// diagnostic is at `Deny` level under the active
+    /// [`crate::analyze::AnalysisConfig`]. All findings (including the
+    /// non-gating ones) ride along so callers can render the full
+    /// report.
+    AnalysisRejected {
+        /// Every finding from the run, in pass-registry order; at
+        /// least one is at `Deny` level.
+        diagnostics: Vec<crate::analyze::Diagnostic>,
+    },
     /// The simulation watchdog aborted a run that exceeded its event
     /// budget — the structured report replaces an apparent hang.
     WatchdogAbort {
@@ -205,6 +215,20 @@ impl fmt::Display for LogNicError {
             }
             LogNicError::InvalidProfile { component, reason } => {
                 write!(f, "invalid {component}: {reason}")
+            }
+            LogNicError::AnalysisRejected { diagnostics } => {
+                let denied: Vec<&crate::analyze::Diagnostic> =
+                    diagnostics.iter().filter(|d| d.is_denied()).collect();
+                write!(
+                    f,
+                    "static analysis rejected the scenario with {} denied diagnostic{}:",
+                    denied.len(),
+                    if denied.len() == 1 { "" } else { "s" }
+                )?;
+                for d in denied {
+                    write!(f, " [{}] {};", d.code.as_str(), d.message)?;
+                }
+                Ok(())
             }
             LogNicError::WatchdogAbort {
                 events,

@@ -5,6 +5,7 @@
 //! [`Estimate`] (throughput, latency, drop-aware delivered rate) in
 //! one call.
 
+use crate::analyze::{AnalysisConfig, AnalysisReport, Analyzer};
 use crate::error::{LogNicResult, Result};
 use crate::extensions::delivered_throughput;
 use crate::fault::FaultPlan;
@@ -98,6 +99,37 @@ impl<'a> Estimator<'a> {
             latency: self.latency()?,
             delivered: delivered_throughput(self.graph, self.hw, self.traffic)?,
         })
+    }
+
+    /// Runs the static analyzer over the estimator's three inputs.
+    ///
+    /// This is the read-only form: every finding is returned
+    /// regardless of severity, and nothing is rejected. Use
+    /// [`Self::estimate_checked`] to gate the evaluation on the
+    /// report.
+    pub fn analyze(&self, config: &AnalysisConfig) -> AnalysisReport {
+        Analyzer::new(self.graph)
+            .with_hardware(self.hw)
+            .with_traffic(self.traffic)
+            .run(config)
+    }
+
+    /// Runs the static analyzer and then, if no diagnostic is at
+    /// `Deny` level under `config`, the full evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::LogNicError::AnalysisRejected`]
+    /// carrying the full report when the analyzer denies the
+    /// scenario; otherwise propagates model-evaluation errors.
+    pub fn estimate_checked(&self, config: &AnalysisConfig) -> LogNicResult<Estimate> {
+        let report = self.analyze(config);
+        if report.is_rejected() {
+            return Err(crate::error::LogNicError::AnalysisRejected {
+                diagnostics: report.diagnostics().to_vec(),
+            });
+        }
+        Ok(self.estimate()?)
     }
 
     /// Runs the availability-adjusted evaluation under a fault plan
@@ -355,6 +387,35 @@ mod tests {
             e.estimate_degraded(&FaultPlan::new(), h),
             Err(LogNicError::InvalidProfile { .. })
         ));
+    }
+
+    #[test]
+    fn estimate_checked_gates_on_denied_diagnostics() {
+        use crate::error::LogNicError;
+        let g =
+            ExecutionGraph::chain("t", &[("ip", IpParams::new(Bandwidth::gbps(10.0)))]).unwrap();
+        let hw = HardwareModel::default();
+        // Saturating load: ρ = 2.5 on the compute bound — Warn by
+        // default, so the checked estimate still succeeds...
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+        let e = Estimator::new(&g, &hw, &traffic);
+        let cfg = AnalysisConfig::default();
+        assert!(!e.analyze(&cfg).is_clean());
+        assert!(e.estimate_checked(&cfg).is_ok());
+        // ...and is rejected once warnings are denied, carrying the
+        // saturation finding in the error.
+        let strict = AnalysisConfig::default().deny_warnings(true);
+        let err = e.estimate_checked(&strict).unwrap_err();
+        let LogNicError::AnalysisRejected { diagnostics } = err else {
+            panic!("expected AnalysisRejected, got {err}");
+        };
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.code == crate::analyze::Code::SaturatedPartition && d.is_denied()));
+        // A clean scenario passes under the strict policy too.
+        let calm = traffic.at_rate(Bandwidth::gbps(4.0));
+        let e = Estimator::new(&g, &hw, &calm);
+        assert!(e.estimate_checked(&strict).is_ok());
     }
 
     #[test]

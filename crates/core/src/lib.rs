@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod baselines;
 pub mod error;
 pub mod estimate;
@@ -58,7 +59,6 @@ pub mod fault;
 pub mod graph;
 pub mod intern;
 pub mod latency;
-pub mod lint;
 pub mod params;
 pub mod queueing;
 pub mod roofline;
@@ -70,6 +70,9 @@ pub mod units;
 /// The most commonly used items, re-exported for convenient glob
 /// import.
 pub mod prelude {
+    pub use crate::analyze::{
+        AnalysisConfig, AnalysisReport, Analyzer, Code, Diagnostic, Severity, Span,
+    };
     pub use crate::error::{LogNicError, LogNicResult, ModelError, Result};
     pub use crate::estimate::{DegradedEstimate, Estimate, Estimator};
     pub use crate::extensions::{consolidate, delivered_throughput, estimate_mixed, Tenant};
@@ -77,7 +80,6 @@ pub mod prelude {
     pub use crate::graph::{EdgeId, ExecutionGraph, NodeId, NodeKind};
     pub use crate::intern::NameTable;
     pub use crate::latency::{estimate_latency, LatencyEstimate};
-    pub use crate::lint::{lint, lint_faults, LintWarning};
     pub use crate::params::{EdgeParams, HardwareModel, IpParams, PacketSizeDist, TrafficProfile};
     pub use crate::queueing::Mm1n;
     pub use crate::roofline::IpRoofline;

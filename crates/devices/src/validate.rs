@@ -1,16 +1,20 @@
 //! Profile validation: every calibrated device profile, checked
-//! through the model's typed validators.
+//! through the model's typed validators and the static analyzer's
+//! diagnostic framework.
 //!
 //! Device numbers are hand-calibrated against the paper's anchors; a
 //! typo'd bandwidth (zero, negative via a bad formula, a unit slip)
 //! would otherwise surface only as a confusing downstream estimate.
 //! [`validate_all_profiles`] runs each device's [`HardwareModel`]
-//! through [`HardwareModel::validate`] and reports the offender by
-//! name, so a broken calibration fails fast with a typed
-//! [`LogNicError::InvalidProfile`].
+//! through [`HardwareModel::validate`] and reports **every** offender
+//! at once — one broken calibration no longer hides the next — both as
+//! an aggregated typed error and as [`Diagnostic`]s
+//! ([`profile_diagnostics`]) that render alongside the analyzer's
+//! findings.
 //!
 //! [`LogNicError::InvalidProfile`]: lognic_model::error::LogNicError
 
+use lognic_model::analyze::{Code, Diagnostic, Span};
 use lognic_model::error::{LogNicError, LogNicResult};
 use lognic_model::params::HardwareModel;
 
@@ -49,16 +53,72 @@ pub fn validate_profile(name: &str, hw: &HardwareModel) -> LogNicResult<()> {
     })
 }
 
-/// Validates every calibrated device profile.
+/// The diagnostics a named hardware profile raises: one `L0401
+/// degenerate-medium` finding per zero-bandwidth medium, attributed to
+/// the device. An empty vector means the profile is sound.
+pub fn profile_diagnostics(name: &str, hw: &HardwareModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (medium, bw) in [
+        ("interface", hw.interface_bandwidth()),
+        ("memory", hw.memory_bandwidth()),
+    ] {
+        if bw.is_zero() {
+            out.push(
+                Diagnostic::new(
+                    Code::DegenerateMedium,
+                    Span::Hardware { medium },
+                    format!("device `{name}`: the shared {medium} has zero bandwidth"),
+                )
+                .with_help("re-derive the calibration; a zero medium starves every path"),
+            );
+        }
+    }
+    out
+}
+
+/// The diagnostics across every calibrated device profile (empty when
+/// all calibrations are sound).
+pub fn all_profile_diagnostics() -> Vec<Diagnostic> {
+    all_profiles()
+        .iter()
+        .flat_map(|(name, hw)| profile_diagnostics(name, hw))
+        .collect()
+}
+
+/// Validates every calibrated device profile, collecting **all**
+/// findings instead of stopping at the first.
 ///
 /// # Errors
 ///
-/// Propagates the first invalid profile, attributed to its device.
+/// One invalid profile returns its attributed
+/// [`LogNicError::InvalidProfile`]; several are aggregated into a
+/// single [`LogNicError::InvalidProfile`] whose reason lists every
+/// offender, so a broken calibration sweep surfaces the full damage in
+/// one round trip.
 pub fn validate_all_profiles() -> LogNicResult<()> {
+    let mut failures: Vec<LogNicError> = Vec::new();
     for (name, hw) in all_profiles() {
-        validate_profile(name, &hw)?;
+        if let Err(e) = validate_profile(name, &hw) {
+            failures.push(e);
+        }
     }
-    Ok(())
+    match failures.len() {
+        0 => Ok(()),
+        1 => Err(failures.remove(0)),
+        n => {
+            let reasons: Vec<String> = failures
+                .iter()
+                .map(|e| match e {
+                    LogNicError::InvalidProfile { reason, .. } => reason.clone(),
+                    other => other.to_string(),
+                })
+                .collect();
+            Err(LogNicError::InvalidProfile {
+                component: "device profiles".to_owned(),
+                reason: format!("{n} invalid profiles: {}", reasons.join("; ")),
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +130,7 @@ mod tests {
     fn all_calibrated_profiles_are_valid() {
         validate_all_profiles().expect("calibrated profiles must validate");
         assert_eq!(all_profiles().len(), 5);
+        assert!(all_profile_diagnostics().is_empty());
     }
 
     #[test]
@@ -82,5 +143,20 @@ mod tests {
             }
             other => panic!("expected InvalidProfile, got {other}"),
         }
+    }
+
+    #[test]
+    fn profile_diagnostics_collect_every_degenerate_medium() {
+        let broken = HardwareModel::new(Bandwidth::ZERO, Bandwidth::ZERO);
+        let diags = profile_diagnostics("dead-nic", &broken);
+        assert_eq!(diags.len(), 2, "both media reported, not just the first");
+        for d in &diags {
+            assert_eq!(d.code, Code::DegenerateMedium);
+            assert!(d.is_denied());
+            assert!(d.message.contains("dead-nic"));
+        }
+        let rendered: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+        assert!(rendered[0].contains("interface"));
+        assert!(rendered[1].contains("memory"));
     }
 }

@@ -50,7 +50,7 @@
 //! [`sim::SimulationBuilder::with_fault_plan`].
 
 #![warn(missing_docs)]
-#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 #![deny(clippy::perf)]
 
 pub mod arena;

@@ -30,6 +30,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
+use lognic_model::analyze::{AnalysisConfig, Analyzer, Diagnostic};
 use lognic_model::error::{LogNicError, LogNicResult};
 use lognic_model::fault::{FaultPlan, RetryPolicy};
 use lognic_model::graph::ExecutionGraph;
@@ -294,6 +295,7 @@ pub struct SimulationBuilder<'a> {
     outages: Vec<(String, Seconds, Seconds)>,
     plan: FaultPlan,
     compiled: Option<&'a CompiledFaultPlan>,
+    analysis: AnalysisConfig,
 }
 
 impl std::fmt::Debug for SimulationBuilder<'_> {
@@ -395,6 +397,15 @@ impl<'a> SimulationBuilder<'a> {
         self
     }
 
+    /// Replaces the static-analysis severity policy the builder
+    /// applies before constructing the runtime (the default policy
+    /// denies hard errors — degenerate quantities, credit cycles —
+    /// and records the rest as warnings on the built [`Simulation`]).
+    pub fn analysis(mut self, config: AnalysisConfig) -> Self {
+        self.analysis = config;
+        self
+    }
+
     /// Installs an already-compiled fault plan, sharing its per-node
     /// tables by reference. Replicated runs compile a [`FaultPlan`]
     /// once and hand the same [`CompiledFaultPlan`] to every seed.
@@ -420,8 +431,25 @@ impl<'a> SimulationBuilder<'a> {
     /// scenario surfaces every bad reference at once); an empty or
     /// inverted fault window; an out-of-range fault parameter; or an
     /// unusable run configuration (warmup beyond the horizon, zero
-    /// packet budget).
+    /// packet budget). The static analyzer runs over the scenario
+    /// first: findings the active [`AnalysisConfig`] puts at `Deny`
+    /// level reject the build with
+    /// [`LogNicError::AnalysisRejected`]; `Warn`-level findings are
+    /// retained on the built simulation
+    /// ([`Simulation::analysis_warnings`]).
     pub fn build(self) -> LogNicResult<Simulation> {
+        let report = Analyzer::new(self.graph)
+            .with_hardware(self.hw)
+            .with_traffic(self.traffic)
+            .with_fault_plan(&self.plan)
+            .run(&self.analysis);
+        if report.is_rejected() {
+            return Err(LogNicError::AnalysisRejected {
+                diagnostics: report.diagnostics().to_vec(),
+            });
+        }
+        let analysis_warnings: Vec<Diagnostic> = report.warnings().into_iter().cloned().collect();
+
         let cfg = self.config;
         if cfg.warmup.as_secs() > cfg.duration.as_secs() {
             return Err(LogNicError::InvalidConfig {
@@ -641,6 +669,7 @@ impl<'a> SimulationBuilder<'a> {
             deadline,
             max_events,
             wheel_gap_ps,
+            analysis_warnings,
         })
     }
 
@@ -717,6 +746,8 @@ pub struct Simulation {
     /// Estimated mean inter-event gap, sizing the calendar wheel's day
     /// width.
     wheel_gap_ps: u64,
+    /// Non-gating findings the pre-build static analysis surfaced.
+    analysis_warnings: Vec<Diagnostic>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -778,7 +809,15 @@ impl Simulation {
             outages: Vec::new(),
             plan: FaultPlan::new(),
             compiled: None,
+            analysis: AnalysisConfig::default(),
         }
+    }
+
+    /// The `Warn`-level diagnostics the pre-build static analysis
+    /// surfaced (the `Deny`-level ones reject
+    /// [`SimulationBuilder::build`] outright).
+    pub fn analysis_warnings(&self) -> &[Diagnostic] {
+        &self.analysis_warnings
     }
 
     /// Runs the simulation to completion and reports the measurements.
@@ -1443,12 +1482,58 @@ mod tests {
 
     #[test]
     fn zero_traffic_runs_empty() {
+        use lognic_model::analyze::{Code, Severity};
         let g = chain(10.0, 16);
         let t = TrafficProfile::fixed(Bandwidth::ZERO, Bytes::new(64));
-        let r = run(&g, &fast_hw(), &t);
+        // A zero ingress rate is denied by default; the degenerate run
+        // is still reachable by explicitly allowing L0402.
+        let denied = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .run();
+        assert!(matches!(denied, Err(LogNicError::AnalysisRejected { .. })));
+        let r = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::millis(2.0))
+            .analysis(
+                AnalysisConfig::default().set_severity(Code::ZeroIngressRate, Severity::Allow),
+            )
+            .run()
+            .unwrap();
         assert_eq!(r.completed, 0);
         assert_eq!(r.injected, 0);
         assert_eq!(r.latency.count, 0);
+    }
+
+    #[test]
+    fn build_surfaces_analysis_warnings() {
+        use lognic_model::analyze::Code;
+        // ρ = 2.5 on the compute bound: warned, not denied.
+        let g = chain(10.0, 256);
+        let t = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+        let sim = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::millis(2.0))
+            .build()
+            .unwrap();
+        assert!(sim
+            .analysis_warnings()
+            .iter()
+            .any(|d| d.code == Code::SaturatedPartition));
+        // Escalating warnings rejects the same scenario.
+        let strict = Simulation::builder(&g, &fast_hw(), &t)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::millis(2.0))
+            .analysis(AnalysisConfig::default().deny_warnings(true))
+            .build();
+        assert!(matches!(strict, Err(LogNicError::AnalysisRejected { .. })));
+        // A clean scenario carries no warnings.
+        let calm = TrafficProfile::fixed(Bandwidth::gbps(2.0), Bytes::new(1500));
+        let sim = Simulation::builder(&g, &fast_hw(), &calm)
+            .duration(Seconds::millis(10.0))
+            .warmup(Seconds::millis(2.0))
+            .build()
+            .unwrap();
+        assert!(sim.analysis_warnings().is_empty());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod broken;
 pub mod chaos;
 pub mod compression;
 pub mod inline_accel;
