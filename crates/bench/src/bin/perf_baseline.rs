@@ -14,7 +14,14 @@
 //! cargo run --release -p lognic-bench --bin perf_baseline            # write BENCH_sim.json
 //! cargo run --release -p lognic-bench --bin perf_baseline -- --check # compare, no write
 //! cargo run --release -p lognic-bench --bin perf_baseline -- --out /tmp/b.json
+//! cargo run --release -p lognic-bench --bin perf_baseline -- --trace-overhead
 //! ```
+//!
+//! `--trace-overhead` gates the observability layer's zero-cost
+//! claim: it A/B-measures the default `run()` path against an
+//! explicit `run_with(&mut NoopObserver)` on the chaos workload and
+//! fails if the no-op-observer path is more than 5 % slower. An
+//! attached `RingLog` sink is measured too, informationally.
 //!
 //! Allocations are counted by a wrapping `#[global_allocator]`; the
 //! per-event figure is a *delta between two run lengths* of the same
@@ -273,6 +280,84 @@ fn measure_hold(engine: Engine) -> Case {
     }
 }
 
+/// One timed run with an explicit observer through the generic
+/// `run_with` path; returns `(events, wall_secs)`.
+fn run_once_observed<O: SimObserver>(
+    w: &Workload,
+    engine: Engine,
+    millis: f64,
+    obs: &mut O,
+) -> (u64, f64) {
+    let mut b = Simulation::builder(&w.scenario.graph, &w.scenario.hardware, &w.scenario.traffic)
+        .config(cfg(engine, millis));
+    if let Some(plan) = &w.plan {
+        b = b.with_fault_plan(plan.clone());
+    }
+    let sim = b.build().expect("workload scenarios are valid");
+    let start = Instant::now();
+    let report = sim
+        .run_with(obs)
+        .expect("bench runs stay under the watchdog");
+    (report.events, start.elapsed().as_secs_f64())
+}
+
+/// The `--trace-overhead` gate: the no-op-observer path must run
+/// within 5 % of the default path. Both compile to the same
+/// monomorphization today; this trips if `run()` ever stops being a
+/// thin `run_with(&mut NoopObserver)` wrapper or unconditional work
+/// leaks into a hook site. Interleaved best-of-`ROUNDS` so scheduler
+/// drift hits both arms equally.
+fn trace_overhead() -> ! {
+    const ROUNDS: usize = 5;
+    let w = workloads()
+        .into_iter()
+        .find(|w| w.name == "chaos")
+        .expect("chaos workload present");
+    let millis = w.millis;
+
+    let mut best_plain = f64::INFINITY;
+    let mut best_noop = f64::INFINITY;
+    let mut best_ring = f64::INFINITY;
+    let mut events = 0u64;
+    let mut ring_records = 0u64;
+    for _ in 0..ROUNDS {
+        let (report, secs) = run_once(&w, Engine::Calendar, millis);
+        best_plain = best_plain.min(secs);
+        events = report.events;
+
+        let mut noop = NoopObserver;
+        let (_, secs) = run_once_observed(&w, Engine::Calendar, millis, &mut noop);
+        best_noop = best_noop.min(secs);
+
+        let mut ring = RingLog::with_capacity(1 << 18);
+        let (_, secs) = run_once_observed(&w, Engine::Calendar, millis, &mut ring);
+        best_ring = best_ring.min(secs);
+        ring_records = ring.written();
+    }
+
+    let plain_eps = events as f64 / best_plain;
+    let noop_eps = events as f64 / best_noop;
+    let ring_eps = events as f64 / best_ring;
+    println!(
+        "trace-overhead chaos/calendar  plain {:>12.0} ev/s  noop-observer {:>12.0} ev/s  ({:+.2}%)",
+        plain_eps,
+        noop_eps,
+        (noop_eps / plain_eps - 1.0) * 100.0,
+    );
+    println!(
+        "trace-overhead chaos/calendar  ring-sink {:>12.0} ev/s  ({:+.2}%, {} records, informational)",
+        ring_eps,
+        (ring_eps / plain_eps - 1.0) * 100.0,
+        ring_records,
+    );
+    if noop_eps < plain_eps * 0.95 {
+        eprintln!("trace-overhead: no-op observer costs more than 5% — the zero-cost gate failed");
+        std::process::exit(1);
+    }
+    println!("trace-overhead: no-op observer within 5% of the untraced path");
+    std::process::exit(0);
+}
+
 fn engine_key(e: Engine) -> &'static str {
     match e {
         Engine::Calendar => "calendar",
@@ -351,6 +436,9 @@ fn parse_baseline(text: &str) -> Vec<(String, String, f64)> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--trace-overhead") {
+        trace_overhead();
+    }
     let check = args.iter().any(|a| a == "--check");
     let out_path = args
         .iter()

@@ -24,6 +24,32 @@ pub struct Estimate {
     pub latency: LatencyEstimate,
     /// Delivered rate after finite-queue drops.
     pub delivered: Bandwidth,
+    /// Fault-availability bookkeeping, present when the evaluation
+    /// included a fault plan ([`EstimateRequest::with_faults`]).
+    pub degraded: Option<Degradation>,
+}
+
+/// Availability bookkeeping attached to an [`Estimate`] evaluated
+/// under a fault plan — the same quantities [`DegradedEstimate`]
+/// carries, minus the nested estimate.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// `1 − residual_loss`: the fraction of offered packets eventually
+    /// delivered with respect to fault losses.
+    pub availability: f64,
+    /// Expected attempts per offered packet (≥ 1); the `λ` inflation
+    /// factor.
+    pub retry_inflation: f64,
+    /// The per-attempt probability a packet is refused somewhere on
+    /// the path.
+    pub fault_drop_probability: f64,
+    /// The probability a packet is lost even after exhausting its
+    /// retry budget.
+    pub residual_loss: f64,
+    /// The probability a delivered packet was corrupted in transit.
+    pub corruption_probability: f64,
+    /// Fault-adjusted useful delivered rate.
+    pub goodput: Bandwidth,
 }
 
 /// Evaluates a SmartNIC program on a hardware model under a traffic
@@ -87,8 +113,26 @@ impl<'a> Estimator<'a> {
         estimate_latency(self.graph, self.hw, self.traffic)
     }
 
+    /// Starts a unified evaluation request: the builder form behind
+    /// which plain, checked and fault-degraded evaluation converge
+    /// (compose with [`EstimateRequest::with_faults`] and
+    /// [`EstimateRequest::checked`], then call
+    /// [`EstimateRequest::evaluate`]).
+    pub fn request(&self) -> EstimateRequest<'a> {
+        EstimateRequest {
+            estimator: *self,
+            faults: None,
+            analysis: None,
+        }
+    }
+
     /// Runs the full evaluation: throughput, latency and the
     /// drop-aware delivered rate.
+    ///
+    /// > **Deprecation note:** prefer the unified
+    /// > [`Estimator::request`] builder
+    /// > (`estimator.request().evaluate()`); this method remains as a
+    /// > thin equivalent.
     ///
     /// # Errors
     ///
@@ -98,6 +142,7 @@ impl<'a> Estimator<'a> {
             throughput: self.throughput()?,
             latency: self.latency()?,
             delivered: delivered_throughput(self.graph, self.hw, self.traffic)?,
+            degraded: None,
         })
     }
 
@@ -117,6 +162,11 @@ impl<'a> Estimator<'a> {
     /// Runs the static analyzer and then, if no diagnostic is at
     /// `Deny` level under `config`, the full evaluation.
     ///
+    /// > **Deprecation note:** prefer the unified
+    /// > [`Estimator::request`] builder
+    /// > (`estimator.request().checked(config).evaluate()`); this
+    /// > method remains as a thin equivalent.
+    ///
     /// # Errors
     ///
     /// Returns [`crate::error::LogNicError::AnalysisRejected`]
@@ -134,6 +184,13 @@ impl<'a> Estimator<'a> {
 
     /// Runs the availability-adjusted evaluation under a fault plan
     /// over the horizon `[0, horizon]`.
+    ///
+    /// > **Deprecation note:** prefer the unified
+    /// > [`Estimator::request`] builder
+    /// > (`estimator.request().with_faults(&plan, horizon).evaluate()`),
+    /// > which folds the availability bookkeeping into
+    /// > [`Estimate::degraded`]; this method remains as the
+    /// > [`DegradedEstimate`]-shaped equivalent.
     ///
     /// Faults enter the M/M/1/N formulation (Eq. 9–12) in two places:
     ///
@@ -245,6 +302,102 @@ pub struct DegradedEstimate {
     /// `(1 − residual_loss)(1 − corruption)`, capped by the degraded
     /// pipeline's delivered rate.
     pub goodput: Bandwidth,
+}
+
+/// A unified evaluation request: one builder behind which the plain,
+/// analyzer-gated and fault-degraded evaluations converge, returning
+/// one [`Estimate`] shape for all of them.
+///
+/// Built by [`Estimator::request`]; configured with
+/// [`EstimateRequest::checked`] (gate on the static analyzer) and
+/// [`EstimateRequest::with_faults`] (availability-adjusted evaluation,
+/// folding the bookkeeping into [`Estimate::degraded`]).
+///
+/// # Examples
+///
+/// ```
+/// use lognic_model::prelude::*;
+///
+/// # fn main() -> LogNicResult<()> {
+/// let g = ExecutionGraph::chain("echo", &[("core", IpParams::new(Bandwidth::gbps(10.0)))])?;
+/// let hw = HardwareModel::default();
+/// let traffic = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1500));
+/// let horizon = Seconds::millis(10.0);
+/// let plan = FaultPlan::new().degrade_rate("core", 0.5, Seconds::ZERO, horizon);
+///
+/// let plain = Estimator::new(&g, &hw, &traffic).request().evaluate()?;
+/// assert!(plain.degraded.is_none());
+///
+/// let under_faults = Estimator::new(&g, &hw, &traffic)
+///     .request()
+///     .checked(AnalysisConfig::default())
+///     .with_faults(&plan, horizon)
+///     .evaluate()?;
+/// let deg = under_faults.degraded.expect("fault bookkeeping attached");
+/// assert_eq!(deg.availability, 1.0, "degradation without drops loses nothing");
+/// assert!(under_faults.throughput.attainable() <= plain.throughput.attainable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EstimateRequest<'a> {
+    estimator: Estimator<'a>,
+    faults: Option<(&'a FaultPlan, Seconds)>,
+    analysis: Option<AnalysisConfig>,
+}
+
+impl<'a> EstimateRequest<'a> {
+    /// Evaluates under `plan` over `[0, horizon]`: the graph is
+    /// degraded by time-averaged fault effects, the offered rate is
+    /// retry-inflated, and the availability bookkeeping lands in
+    /// [`Estimate::degraded`].
+    pub fn with_faults(mut self, plan: &'a FaultPlan, horizon: Seconds) -> Self {
+        self.faults = Some((plan, horizon));
+        self
+    }
+
+    /// Gates the evaluation on the static analyzer under `config`:
+    /// `Deny`-level findings reject the request before any model math
+    /// runs.
+    pub fn checked(mut self, config: AnalysisConfig) -> Self {
+        self.analysis = Some(config);
+        self
+    }
+
+    /// Runs the configured evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::LogNicError::AnalysisRejected`] when a
+    /// [`EstimateRequest::checked`] analysis denies the scenario;
+    /// otherwise propagates fault-plan validation and
+    /// model-evaluation errors.
+    pub fn evaluate(self) -> LogNicResult<Estimate> {
+        if let Some(config) = &self.analysis {
+            let report = self.estimator.analyze(config);
+            if report.is_rejected() {
+                return Err(crate::error::LogNicError::AnalysisRejected {
+                    diagnostics: report.diagnostics().to_vec(),
+                });
+            }
+        }
+        match self.faults {
+            None => Ok(self.estimator.estimate()?),
+            Some((plan, horizon)) => {
+                let deg = self.estimator.estimate_degraded(plan, horizon)?;
+                let mut estimate = deg.estimate;
+                estimate.degraded = Some(Degradation {
+                    availability: deg.availability,
+                    retry_inflation: deg.retry_inflation,
+                    fault_drop_probability: deg.fault_drop_probability,
+                    residual_loss: deg.residual_loss,
+                    corruption_probability: deg.corruption_probability,
+                    goodput: deg.goodput,
+                });
+                Ok(estimate)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +569,67 @@ mod tests {
         let calm = traffic.at_rate(Bandwidth::gbps(4.0));
         let e = Estimator::new(&g, &hw, &calm);
         assert!(e.estimate_checked(&strict).is_ok());
+    }
+
+    #[test]
+    fn request_builder_matches_the_legacy_paths() {
+        use crate::error::LogNicError;
+        let g = ExecutionGraph::chain(
+            "t",
+            &[(
+                "ip",
+                IpParams::new(Bandwidth::gbps(10.0)).with_queue_capacity(64),
+            )],
+        )
+        .unwrap();
+        let hw = HardwareModel::default();
+        let traffic = TrafficProfile::fixed(Bandwidth::gbps(4.0), Bytes::new(1000));
+        let e = Estimator::new(&g, &hw, &traffic);
+
+        // Plain request ≡ estimate().
+        let plain = e.estimate().unwrap();
+        let req = e.request().evaluate().unwrap();
+        assert!(req.degraded.is_none());
+        assert_eq!(req.throughput.attainable(), plain.throughput.attainable());
+        assert_eq!(req.latency.mean(), plain.latency.mean());
+        assert_eq!(req.delivered, plain.delivered);
+
+        // Faulted request ≡ estimate_degraded(), reshaped.
+        let h = Seconds::millis(10.0);
+        let plan = FaultPlan::new()
+            .drop_packets("ip", 0.2, Seconds::ZERO, h)
+            .with_retry(crate::fault::RetryPolicy::new(3, Seconds::micros(1.0)));
+        let legacy = e.estimate_degraded(&plan, h).unwrap();
+        let unified = e.request().with_faults(&plan, h).evaluate().unwrap();
+        let deg = unified.degraded.as_ref().expect("bookkeeping attached");
+        assert_eq!(deg.availability, legacy.availability);
+        assert_eq!(deg.retry_inflation, legacy.retry_inflation);
+        assert_eq!(deg.residual_loss, legacy.residual_loss);
+        assert_eq!(deg.goodput, legacy.goodput);
+        assert_eq!(
+            unified.throughput.attainable(),
+            legacy.estimate.throughput.attainable()
+        );
+
+        // Checked request ≡ estimate_checked(): a strict policy
+        // rejects a saturated scenario with the same error shape.
+        let hot = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
+        let hot_e = Estimator::new(&g, &hw, &hot);
+        let strict = AnalysisConfig::default().deny_warnings(true);
+        assert!(matches!(
+            hot_e.request().checked(strict.clone()).evaluate(),
+            Err(LogNicError::AnalysisRejected { .. })
+        ));
+        assert!(hot_e.request().evaluate().is_ok(), "ungated still passes");
+        // The gate runs before fault math, matching estimate_checked.
+        assert!(matches!(
+            hot_e
+                .request()
+                .checked(strict)
+                .with_faults(&plan, h)
+                .evaluate(),
+            Err(LogNicError::AnalysisRejected { .. })
+        ));
     }
 
     #[test]

@@ -60,31 +60,10 @@ pub mod graph;
 pub mod intern;
 pub mod latency;
 pub mod params;
+pub mod prelude;
 pub mod queueing;
 pub mod roofline;
 pub mod sweep;
 pub mod throughput;
 pub mod transform;
 pub mod units;
-
-/// The most commonly used items, re-exported for convenient glob
-/// import.
-pub mod prelude {
-    pub use crate::analyze::{
-        AnalysisConfig, AnalysisReport, Analyzer, Code, Diagnostic, Severity, Span,
-    };
-    pub use crate::error::{LogNicError, LogNicResult, ModelError, Result};
-    pub use crate::estimate::{DegradedEstimate, Estimate, Estimator};
-    pub use crate::extensions::{consolidate, delivered_throughput, estimate_mixed, Tenant};
-    pub use crate::fault::{FaultKind, FaultPlan, FaultWindow, RetryPolicy};
-    pub use crate::graph::{EdgeId, ExecutionGraph, NodeId, NodeKind};
-    pub use crate::intern::NameTable;
-    pub use crate::latency::{estimate_latency, LatencyEstimate};
-    pub use crate::params::{EdgeParams, HardwareModel, IpParams, PacketSizeDist, TrafficProfile};
-    pub use crate::queueing::Mm1n;
-    pub use crate::roofline::IpRoofline;
-    pub use crate::sweep::{knee_of, rate_sweep, SweepPoint};
-    pub use crate::throughput::{estimate_throughput, ThroughputEstimate};
-    pub use crate::transform::{insert_rate_limiter, unroll_recirculation, with_bypass};
-    pub use crate::units::{Bandwidth, Bytes, OpsRate, Seconds};
-}

@@ -31,3 +31,11 @@ pub mod stingray;
 pub mod validate;
 
 pub use cost::CostModel;
+
+/// The workspace-wide blessed surface (model + simulator preludes)
+/// plus this crate's device entry points.
+pub mod prelude {
+    pub use lognic_sim::prelude::*;
+
+    pub use crate::cost::CostModel;
+}

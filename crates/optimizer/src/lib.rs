@@ -26,3 +26,12 @@ pub mod suggest;
 
 pub use nelder_mead::{minimize, minimize_multistart, NelderMeadOptions, Solution};
 pub use problem::{Goal, Outcome, Problem};
+
+/// The workspace-wide blessed surface (`lognic_model::prelude`) plus
+/// this crate's optimization entry points.
+pub mod prelude {
+    pub use lognic_model::prelude::*;
+
+    pub use crate::nelder_mead::{minimize, minimize_multistart, NelderMeadOptions, Solution};
+    pub use crate::problem::{Goal, Outcome, Problem};
+}

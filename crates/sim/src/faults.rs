@@ -57,6 +57,12 @@ impl NodeFaults {
         self.windows.is_empty()
     }
 
+    /// The compiled window schedule, for trace observers reporting
+    /// fault windows at run start.
+    pub(crate) fn windows(&self) -> &[(SimTime, SimTime, CompiledKind)] {
+        &self.windows
+    }
+
     fn active(&self, now: SimTime) -> impl Iterator<Item = CompiledKind> + '_ {
         self.windows
             .iter()

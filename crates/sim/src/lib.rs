@@ -66,11 +66,16 @@ pub mod service;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod traffic;
 pub mod wrr;
 
-/// The most commonly used items.
+/// The most commonly used items, layered on the workspace-wide
+/// blessed surface (`lognic_model::prelude`) — one glob import covers
+/// both the analytical model and the simulator.
 pub mod prelude {
+    pub use lognic_model::prelude::*;
+
     pub use crate::arena::{PacketArena, PacketHandle, NO_PACKET};
     pub use crate::calendar::CalendarQueue;
     pub use crate::faults::{CompiledFaultPlan, FaultKind, FaultPlan, FaultWindow, RetryPolicy};
@@ -83,6 +88,10 @@ pub mod prelude {
     pub use crate::sim::{Engine, SimConfig, Simulation, SimulationBuilder};
     pub use crate::stats::{MetricSummary, Welford};
     pub use crate::time::SimTime;
+    pub use crate::trace::{
+        ChromeTrace, DropReason, FaultWindowKind, NodeMeta, NoopObserver, RecordKind, RingLog,
+        RunMeta, Sample, SimObserver, TimeSeriesSampler, Timeline, TraceRecord,
+    };
     pub use crate::traffic::{ArrivalProcess, Injection, Trace, TraceCursor, TrafficSource};
     pub use crate::wrr::{QueuePlan, QueueSpec};
 }

@@ -28,6 +28,7 @@ use crate::metrics::SimReport;
 use crate::rng::SimRng;
 use crate::sim::{SimConfig, Simulation};
 use crate::stats::{MetricSummary, Welford};
+use crate::trace::SimObserver;
 
 /// The default base seed replications derive their seed sets from.
 pub const DEFAULT_BASE_SEED: u64 = 0x4C6F_674E_4943_5253; // "LogNICRS"
@@ -229,6 +230,79 @@ impl Replication {
                 .run()
         })
     }
+
+    /// Replicates a simulation with a per-seed trace observer
+    /// attached: `make_observer(seed)` constructs one sink per
+    /// replica (e.g. a [`RingLog`] or [`ChromeTrace`]), each replica
+    /// runs under its own sink, and the sinks are returned *in seed
+    /// order* alongside the aggregate.
+    ///
+    /// Observers are passive and each replica is a pure function of
+    /// its seed, so both the aggregate and every returned sink are
+    /// bit-identical across invocations and thread counts (the trace
+    /// suite asserts [`RingLog::bytes`] equality between 1-thread and
+    /// N-thread replications). An optional [`FaultPlan`] is compiled
+    /// once and shared across replicas, as in
+    /// [`Replication::run_sim_faulted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan compilation errors, then the first replica
+    /// error in seed order.
+    ///
+    /// [`RingLog`]: crate::trace::RingLog
+    /// [`RingLog::bytes`]: crate::trace::RingLog::bytes
+    /// [`ChromeTrace`]: crate::trace::ChromeTrace
+    pub fn run_sim_observed<O, F>(
+        &self,
+        graph: &ExecutionGraph,
+        hw: &HardwareModel,
+        traffic: &TrafficProfile,
+        config: SimConfig,
+        plan: Option<&FaultPlan>,
+        make_observer: F,
+    ) -> LogNicResult<(ReplicatedReport, Vec<O>)>
+    where
+        O: SimObserver + Send,
+        F: Fn(u64) -> O + Sync,
+    {
+        let compiled = plan
+            .map(|p| CompiledFaultPlan::compile(p, graph))
+            .transpose()?;
+        type Slots<O> = Mutex<Vec<Option<LogNicResult<(SimReport, O)>>>>;
+        let slots: Slots<O> = Mutex::new((0..self.seeds.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        let workers = self.worker_count();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&seed) = self.seeds.get(i) else {
+                        break;
+                    };
+                    let mut obs = make_observer(seed);
+                    let mut builder = Simulation::builder(graph, hw, traffic)
+                        .config(SimConfig { seed, ..config });
+                    if let Some(c) = compiled.as_ref() {
+                        builder = builder.with_compiled_faults(c);
+                    }
+                    let result = builder.run_with(&mut obs).map(|report| (report, obs));
+                    slots.lock().expect("no poisoned workers")[i] = Some(result);
+                });
+            }
+        });
+        let mut reports = Vec::with_capacity(self.seeds.len());
+        let mut observers = Vec::with_capacity(self.seeds.len());
+        for slot in slots.into_inner().expect("scope joined all workers") {
+            let (report, obs) = slot.expect("every seed index was claimed exactly once")?;
+            reports.push(report);
+            observers.push(obs);
+        }
+        Ok((
+            ReplicatedReport::aggregate(self.seeds.clone(), reports),
+            observers,
+        ))
+    }
 }
 
 /// The aggregate of N replicated runs: per-metric mean / stddev /
@@ -397,6 +471,38 @@ mod tests {
         let util = rep.summarize(|r| r.node("ip").unwrap().utilization);
         assert_eq!(util.n, 4);
         assert!(util.mean > 0.0 && util.mean < 1.0, "util {util}");
+    }
+
+    #[test]
+    fn observed_replication_matches_unobserved_and_is_thread_invariant() {
+        use crate::trace::RingLog;
+        let g = chain(10.0);
+        let hw = fast_hw();
+        let t = TrafficProfile::fixed(Bandwidth::gbps(6.0), Bytes::new(1000));
+        let rep = Replication::new(4);
+        let plain = rep.run_sim(&g, &hw, &t, cfg(2.0)).unwrap();
+        let (wide, wide_logs) = rep
+            .run_sim_observed(&g, &hw, &t, cfg(2.0), None, |_| {
+                RingLog::with_capacity(4096)
+            })
+            .unwrap();
+        let (narrow, narrow_logs) = rep
+            .threads(1)
+            .run_sim_observed(&g, &hw, &t, cfg(2.0), None, |_| {
+                RingLog::with_capacity(4096)
+            })
+            .unwrap();
+        assert_eq!(plain, wide, "observers must not perturb the aggregate");
+        assert_eq!(wide, narrow);
+        assert_eq!(wide_logs.len(), 4);
+        for (w, n) in wide_logs.iter().zip(&narrow_logs) {
+            assert!(w.written() > 0, "traces captured events");
+            assert_eq!(
+                w.bytes(),
+                n.bytes(),
+                "per-seed traces are byte-identical across thread counts"
+            );
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use lognic_model::units::{Bandwidth, Seconds};
 
 use crate::arena::{PacketArena, PacketHandle, NO_PACKET};
 use crate::calendar::CalendarQueue;
-use crate::faults::{CompiledFaultPlan, NodeFaults};
+use crate::faults::{CompiledFaultPlan, CompiledKind, NodeFaults};
 use crate::histogram::LatencyRecorder;
 use crate::medium::Medium;
 use crate::metrics::{ClassReport, LatencySummary, MediumReport, NodeReport, SimReport};
@@ -48,6 +48,10 @@ use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::service::{RateService, ServiceDist, ServiceModel};
 use crate::time::SimTime;
+use crate::trace::{
+    DropReason, FaultWindowKind, NodeMeta, NoopObserver, RunMeta, SimObserver, TimeSeriesSampler,
+    Timeline,
+};
 use crate::traffic::{ArrivalProcess, Trace, TraceCursor, TrafficSource};
 use crate::wrr::{QueuePlan, WrrQueues};
 
@@ -246,6 +250,25 @@ impl QueueState {
             QueueState::Shared { queue, .. } => queue.pop_front(),
             QueueState::Wrr(w) => w.dequeue(),
         }
+    }
+
+    /// Nominal capacity, for trace metadata.
+    fn capacity(&self) -> u32 {
+        match self {
+            QueueState::Shared { capacity, .. } => *capacity,
+            QueueState::Wrr(w) => w.total_capacity(),
+        }
+    }
+}
+
+/// Maps a compiled fault effect to the public trace-facing kind.
+fn observed_kind(kind: CompiledKind) -> FaultWindowKind {
+    match kind {
+        CompiledKind::Outage => FaultWindowKind::Outage,
+        CompiledKind::Rate(factor) => FaultWindowKind::RateDegradation { factor },
+        CompiledKind::Drop(probability) => FaultWindowKind::PacketDrop { probability },
+        CompiledKind::Corrupt(probability) => FaultWindowKind::PacketCorruption { probability },
+        CompiledKind::CreditLoss(credits) => FaultWindowKind::CreditLoss { credits },
     }
 }
 
@@ -682,6 +705,29 @@ impl<'a> SimulationBuilder<'a> {
     pub fn run(self) -> LogNicResult<SimReport> {
         self.build()?.run()
     }
+
+    /// Builds and runs the simulation under a trace observer (see
+    /// [`Simulation::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationBuilder::build`] validation errors and
+    /// the watchdog abort of [`Simulation::run_with`].
+    pub fn run_with<O: SimObserver>(self, obs: &mut O) -> LogNicResult<SimReport> {
+        self.build()?.run_with(obs)
+    }
+
+    /// Builds and runs the simulation with a [`TimeSeriesSampler`] at
+    /// interval `dt` attached, returning the report alongside the
+    /// collected [`Timeline`] (see [`Simulation::timeline`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationBuilder::build`] validation errors and
+    /// the watchdog abort of [`Simulation::run_with`].
+    pub fn timeline(self, dt: Seconds) -> LogNicResult<(SimReport, Timeline)> {
+        self.build()?.timeline(dt)
+    }
 }
 
 enum Source {
@@ -822,12 +868,51 @@ impl Simulation {
 
     /// Runs the simulation to completion and reports the measurements.
     ///
+    /// Equivalent to [`Simulation::run_with`] under the
+    /// [`NoopObserver`] — the monomorphized no-op compiles to exactly
+    /// the untraced hot loop, so this path pays nothing for the
+    /// observability layer.
+    ///
     /// # Errors
     ///
     /// Returns [`LogNicError::WatchdogAbort`] with a structured
     /// progress report when the run exceeds its event budget
     /// ([`SimConfig::max_events`]) instead of hanging.
-    pub fn run(mut self) -> LogNicResult<SimReport> {
+    pub fn run(self) -> LogNicResult<SimReport> {
+        self.run_with(&mut NoopObserver)
+    }
+
+    /// Runs the simulation with a [`TimeSeriesSampler`] at interval
+    /// `dt` attached, returning the report alongside the collected
+    /// per-node [`Timeline`] (queue depth, busy engines, ρ(t),
+    /// drop/retry counters on the Δt grid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the watchdog abort of [`Simulation::run_with`].
+    pub fn timeline(self, dt: Seconds) -> LogNicResult<(SimReport, Timeline)> {
+        let mut sampler = TimeSeriesSampler::new(dt);
+        let report = self.run_with(&mut sampler)?;
+        Ok((report, sampler.into_timeline()))
+    }
+
+    /// Runs the simulation to completion under a trace observer,
+    /// reporting every engine state transition to `obs`.
+    ///
+    /// Observers are passive — they never touch the RNG or the event
+    /// queue — so for a given scenario and seed the returned
+    /// [`SimReport`] is bit-identical whichever observer is attached
+    /// (the differential suite asserts this against [`Simulation::run`]
+    /// on both engines). Every hook site is guarded by
+    /// [`SimObserver::ENABLED`], which monomorphization resolves at
+    /// compile time: disabled observers leave the hot loop untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::WatchdogAbort`] with a structured
+    /// progress report when the run exceeds its event budget
+    /// ([`SimConfig::max_events`]) instead of hanging.
+    pub fn run_with<O: SimObserver>(mut self, obs: &mut O) -> LogNicResult<SimReport> {
         let end = SimTime::from_secs(self.config.duration.as_secs());
         let warmup = SimTime::from_secs(self.config.warmup.as_secs());
         let mut st = RunState {
@@ -853,6 +938,40 @@ impl Simulation {
             class_latency: Vec::new(),
         };
 
+        if O::ENABLED {
+            let meta = RunMeta {
+                seed: self.config.seed,
+                duration: end,
+                warmup,
+                nodes: self
+                    .nodes
+                    .iter()
+                    .map(|n| NodeMeta {
+                        name: n.name.clone(),
+                        engines: n.runtime.as_ref().map(|rt| rt.engines).unwrap_or(0),
+                        queue_capacity: n
+                            .runtime
+                            .as_ref()
+                            .map(|rt| rt.queue.capacity())
+                            .unwrap_or(0),
+                    })
+                    .collect(),
+                ingress: self.ingress as u32,
+                egress: self.egress as u32,
+            };
+            obs.on_run_start(&meta);
+            // Fault windows are static schedules: report them up front
+            // (in node order) rather than detecting transitions in the
+            // hot loop.
+            for (i, n) in self.nodes.iter().enumerate() {
+                if let Some(rt) = n.runtime.as_ref() {
+                    for &(from, until, kind) in rt.faults.windows() {
+                        obs.on_fault_window(i as u32, observed_kind(kind), from, until);
+                    }
+                }
+            }
+        }
+
         if !self.source.is_silent() {
             if let Some(first) = self.source.next_injection(&mut self.rng) {
                 let t = SimTime::ZERO + first.gap;
@@ -867,9 +986,13 @@ impl Simulation {
         }
 
         let mut processed: u64 = 0;
+        let mut last = end;
         while let Some((time_ps, _seq, ev)) = st.queue.pop() {
             processed += 1;
             let now = SimTime::from_picos(time_ps);
+            if O::ENABLED && now > last {
+                last = now;
+            }
             if processed > self.max_events {
                 let in_flight: u64 = self
                     .nodes
@@ -906,15 +1029,26 @@ impl Simulation {
                         if st.arena.get(ev.pkt).injected_at >= warmup {
                             st.injected += 1;
                         }
+                        // Injection is observed here — when the packet
+                        // enters the system — so the event stream stays
+                        // chronological (the K_INJECT handler schedules
+                        // the *next* packet one gap into the future).
+                        if O::ENABLED {
+                            let p = st.arena.get(ev.pkt);
+                            obs.on_inject(now, p.id, p.size.get(), p.class);
+                        }
                     }
-                    self.arrive(node, ev.pkt, now, warmup, end, &mut st);
+                    self.arrive(node, ev.pkt, now, warmup, end, &mut st, obs);
                 }
                 _ => {
-                    self.finish(ev.node(), ev.pkt, now, warmup, end, &mut st);
+                    self.finish(ev.node(), ev.pkt, now, warmup, end, &mut st, obs);
                 }
             }
         }
 
+        if O::ENABLED {
+            obs.on_run_end(last);
+        }
         Ok(self.report(end, warmup, st, processed))
     }
 
@@ -955,14 +1089,17 @@ impl Simulation {
 
     /// Handles a packet refused at `node` (outage, probabilistic drop
     /// or queue overflow): re-presents it after exponential backoff
-    /// while retry budget remains, otherwise drops it.
-    fn fail(
+    /// while retry budget remains, otherwise drops it with `cause`.
+    #[allow(clippy::too_many_arguments)]
+    fn fail<O: SimObserver>(
         &mut self,
         node: usize,
         h: PacketHandle,
         now: SimTime,
         warmup: SimTime,
         st: &mut RunState,
+        obs: &mut O,
+        cause: DropReason,
     ) {
         if let Some(rp) = self.retry {
             let attempts = st.arena.get(h).attempts;
@@ -973,18 +1110,31 @@ impl Simulation {
                 if pkt.injected_at >= warmup {
                     st.retries += 1;
                 }
+                if O::ENABLED {
+                    obs.on_retry(
+                        now,
+                        node as u32,
+                        st.arena.get(h).id,
+                        attempts + 1,
+                        now + backoff,
+                    );
+                }
                 st.push(now + backoff, Ev::arrive(node, h));
                 return;
             }
         }
         self.nodes[node].drops += 1;
+        if O::ENABLED {
+            obs.on_drop(now, node as u32, st.arena.get(h).id, cause);
+        }
         if st.arena.get(h).injected_at >= warmup {
             st.dropped += 1;
         }
         st.arena.free(h);
     }
 
-    fn arrive(
+    #[allow(clippy::too_many_arguments)]
+    fn arrive<O: SimObserver>(
         &mut self,
         node: usize,
         h: PacketHandle,
@@ -992,6 +1142,7 @@ impl Simulation {
         warmup: SimTime,
         end: SimTime,
         st: &mut RunState,
+        obs: &mut O,
     ) {
         self.nodes[node].arrivals += 1;
         // Deadline accounting: a packet whose sojourn (including
@@ -1001,6 +1152,14 @@ impl Simulation {
             let injected_at = st.arena.get(h).injected_at;
             if now.since(injected_at) > deadline {
                 self.nodes[node].drops += 1;
+                if O::ENABLED {
+                    obs.on_drop(
+                        now,
+                        node as u32,
+                        st.arena.get(h).id,
+                        DropReason::DeadlineExpired,
+                    );
+                }
                 if injected_at >= warmup {
                     st.dropped += 1;
                     st.timed_out += 1;
@@ -1011,7 +1170,7 @@ impl Simulation {
         }
         if self.nodes[node].runtime.is_none() {
             // Pure mover: forward immediately (the egress completes).
-            self.forward(node, h, now, warmup, end, st);
+            self.forward(node, h, now, warmup, end, st, obs);
             return;
         }
         self.touch_occupancy(node, now, end);
@@ -1033,11 +1192,11 @@ impl Simulation {
                 )
             };
             if is_out {
-                self.fail(node, h, now, warmup, st);
+                self.fail(node, h, now, warmup, st, obs, DropReason::Outage);
                 return;
             }
             if drop_p > 0.0 && self.rng.uniform() < drop_p {
-                self.fail(node, h, now, warmup, st);
+                self.fail(node, h, now, warmup, st, obs, DropReason::FaultDrop);
                 return;
             }
             if corrupt_p > 0.0 && self.rng.uniform() < corrupt_p {
@@ -1052,6 +1211,9 @@ impl Simulation {
         }
         if busy < engines {
             let occupancy = self.start_service(node, now, st.arena.get(h));
+            if O::ENABLED {
+                obs.on_service_start(now, node as u32, st.arena.get(h).id, occupancy);
+            }
             st.push(now + occupancy, Ev::done(node, h));
             return;
         }
@@ -1062,15 +1224,19 @@ impl Simulation {
             (admitted, rt.queue.len())
         };
         if admitted {
+            if O::ENABLED {
+                obs.on_enqueue(now, node as u32, st.arena.get(h).id, depth as u32);
+            }
             if depth > self.nodes[node].max_queue {
                 self.nodes[node].max_queue = depth;
             }
         } else {
-            self.fail(node, h, now, warmup, st);
+            self.fail(node, h, now, warmup, st, obs, DropReason::QueueFull);
         }
     }
 
-    fn finish(
+    #[allow(clippy::too_many_arguments)]
+    fn finish<O: SimObserver>(
         &mut self,
         node: usize,
         h: PacketHandle,
@@ -1078,12 +1244,16 @@ impl Simulation {
         warmup: SimTime,
         end: SimTime,
         st: &mut RunState,
+        obs: &mut O,
     ) {
         self.nodes[node].served += 1;
+        if O::ENABLED {
+            obs.on_complete(now, node as u32, st.arena.get(h).id);
+        }
         self.touch_occupancy(node, now, end);
         let deadline = self.deadline;
         let mut expired = std::mem::take(&mut st.scratch_expired);
-        let next = {
+        let (next, depth_after) = {
             let rt = self.nodes[node]
                 .runtime
                 .as_mut()
@@ -1093,7 +1263,7 @@ impl Simulation {
             // plan deadline are reaped instead of served — serving
             // them would waste engine time on answers nobody waits
             // for.
-            loop {
+            let next = loop {
                 match rt.queue.dequeue() {
                     Some(p) => {
                         if let Some(dl) = deadline {
@@ -1106,10 +1276,19 @@ impl Simulation {
                     }
                     None => break None,
                 }
-            }
+            };
+            (next, rt.queue.len())
         };
         for p in expired.drain(..) {
             self.nodes[node].drops += 1;
+            if O::ENABLED {
+                obs.on_drop(
+                    now,
+                    node as u32,
+                    st.arena.get(p).id,
+                    DropReason::DeadlineExpired,
+                );
+            }
             let injected_at = st.arena.get(p).injected_at;
             st.arena.free(p);
             if injected_at >= warmup {
@@ -1119,13 +1298,20 @@ impl Simulation {
         }
         st.scratch_expired = expired;
         if let Some(next) = next {
+            if O::ENABLED {
+                obs.on_dequeue(now, node as u32, st.arena.get(next).id, depth_after as u32);
+            }
             let occupancy = self.start_service(node, now, st.arena.get(next));
+            if O::ENABLED {
+                obs.on_service_start(now, node as u32, st.arena.get(next).id, occupancy);
+            }
             st.push(now + occupancy, Ev::done(node, next));
         }
-        self.forward(node, h, now, warmup, end, st);
+        self.forward(node, h, now, warmup, end, st, obs);
     }
 
-    fn forward(
+    #[allow(clippy::too_many_arguments)]
+    fn forward<O: SimObserver>(
         &mut self,
         node: usize,
         h: PacketHandle,
@@ -1133,10 +1319,14 @@ impl Simulation {
         warmup: SimTime,
         end: SimTime,
         st: &mut RunState,
+        obs: &mut O,
     ) {
         if node == self.egress {
             let pkt = *st.arena.get(h);
             st.arena.free(h);
+            if O::ENABLED {
+                obs.on_deliver(now, pkt.id, pkt.latency_at(now));
+            }
             if pkt.injected_at >= warmup {
                 st.completed += 1;
                 if pkt.corrupted {
@@ -1223,6 +1413,14 @@ impl Simulation {
                 // node credits, and RX overflow under sustained
                 // overload would retry forever.
                 self.nodes[node].drops += 1;
+                if O::ENABLED {
+                    obs.on_drop(
+                        now,
+                        node as u32,
+                        st.arena.get(h).id,
+                        DropReason::MediaBacklog,
+                    );
+                }
                 let injected_at = st.arena.get(h).injected_at;
                 st.arena.free(h);
                 if injected_at >= warmup {

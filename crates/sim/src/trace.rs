@@ -1,0 +1,1242 @@
+//! Zero-cost-when-disabled observability for simulation runs.
+//!
+//! The engine's hot loop reports every state transition — injections,
+//! enqueues/dequeues, service starts, completions, deliveries, drops,
+//! retries and fault windows — to a [`SimObserver`]. The observer is a
+//! *monomorphized generic* of [`Simulation::run_with`], and every hook
+//! site in the engine is guarded by the observer's associated
+//! `const ENABLED`: with the default [`NoopObserver`] the guard is a
+//! compile-time `false`, so the argument computation and the call are
+//! eliminated entirely and `run()` compiles to the exact pre-trace hot
+//! loop (the perf baseline's `--trace-overhead` mode measures this).
+//!
+//! Observers are passive: they receive interned node ids and
+//! [`SimTime`] stamps but never touch the RNG or the event queue, so a
+//! traced run's [`SimReport`] is byte-identical to an untraced run of
+//! the same scenario and seed (the differential suite asserts this).
+//!
+//! Three sinks ship with the crate:
+//!
+//! * [`RingLog`] — a bounded ring buffer of fixed-size 32-byte binary
+//!   records with a post-run decoder ([`RingLog::decode`]). Memory is
+//!   fixed at construction; once full, the oldest records are
+//!   overwritten and counted in [`RingLog::dropped`].
+//! * [`TimeSeriesSampler`] — per-node time series (queue depth, busy
+//!   engines, instantaneous utilization ρ(t), cumulative drop/retry
+//!   counters) sampled every Δt, rendered to CSV or JSON by the
+//!   resulting [`Timeline`].
+//! * [`ChromeTrace`] — a Chrome `trace_event` JSON exporter (one track
+//!   per node plus a packet track and per-node queue-depth counters)
+//!   whose output opens directly in Perfetto / `chrome://tracing`.
+//!
+//! [`Simulation::run_with`]: crate::sim::Simulation::run_with
+//! [`SimReport`]: crate::metrics::SimReport
+
+use crate::time::SimTime;
+use lognic_model::units::Seconds;
+
+/// Immutable description of the run an observer is attached to,
+/// delivered once by [`SimObserver::on_run_start`] before the first
+/// event. Sinks size their per-node state from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Injection horizon (the run then drains in-flight packets).
+    pub duration: SimTime,
+    /// Measurement cutoff.
+    pub warmup: SimTime,
+    /// Per-node metadata, indexed by interned node id — the same dense
+    /// index every hook's `node` argument uses.
+    pub nodes: Vec<NodeMeta>,
+    /// Interned id of the ingress engine.
+    pub ingress: u32,
+    /// Interned id of the egress engine.
+    pub egress: u32,
+}
+
+/// One node's static properties, as seen by trace sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Vertex name from the execution graph.
+    pub name: String,
+    /// Parallel engines (`D`); `0` for pure movers (ingress/egress).
+    pub engines: u32,
+    /// Bounded queue capacity (total across WRR queues); `0` for
+    /// movers.
+    pub queue_capacity: u32,
+}
+
+/// Why the engine discarded a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The node's bounded queue (or WRR queue) was full.
+    QueueFull,
+    /// An outage fault window refused the arrival.
+    Outage,
+    /// A probabilistic packet-drop fault window fired.
+    FaultDrop,
+    /// The packet's sojourn exceeded the plan-wide deadline.
+    DeadlineExpired,
+    /// A shared medium's reservation backlog overflowed (RX overflow).
+    MediaBacklog,
+}
+
+impl DropReason {
+    /// A short stable label (used by the Chrome exporter and CSV).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::Outage => "outage",
+            DropReason::FaultDrop => "fault_drop",
+            DropReason::DeadlineExpired => "deadline",
+            DropReason::MediaBacklog => "media_backlog",
+        }
+    }
+
+    /// Dense discriminant for binary encodings.
+    pub fn code(self) -> u8 {
+        match self {
+            DropReason::QueueFull => 0,
+            DropReason::Outage => 1,
+            DropReason::FaultDrop => 2,
+            DropReason::DeadlineExpired => 3,
+            DropReason::MediaBacklog => 4,
+        }
+    }
+
+    /// Inverse of [`DropReason::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => DropReason::QueueFull,
+            1 => DropReason::Outage,
+            2 => DropReason::FaultDrop,
+            3 => DropReason::DeadlineExpired,
+            4 => DropReason::MediaBacklog,
+            _ => return None,
+        })
+    }
+}
+
+/// The effect of one scheduled fault window, as reported by
+/// [`SimObserver::on_fault_window`] at run start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultWindowKind {
+    /// The node refuses every arrival.
+    Outage,
+    /// The node serves at this fraction of its nominal rate.
+    RateDegradation {
+        /// Remaining service-rate fraction in `(0, 1)`.
+        factor: f64,
+    },
+    /// Arrivals are refused with this probability.
+    PacketDrop {
+        /// Per-arrival drop probability.
+        probability: f64,
+    },
+    /// Arrivals are corrupted with this probability.
+    PacketCorruption {
+        /// Per-arrival corruption probability.
+        probability: f64,
+    },
+    /// Credits removed from the node's bounded queue.
+    CreditLoss {
+        /// Credits removed while the window is active.
+        credits: u32,
+    },
+}
+
+impl FaultWindowKind {
+    /// A short stable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultWindowKind::Outage => "outage",
+            FaultWindowKind::RateDegradation { .. } => "rate_degradation",
+            FaultWindowKind::PacketDrop { .. } => "packet_drop",
+            FaultWindowKind::PacketCorruption { .. } => "packet_corruption",
+            FaultWindowKind::CreditLoss { .. } => "credit_loss",
+        }
+    }
+
+    /// The window's scalar parameter (1.0 for outages).
+    pub fn parameter(self) -> f64 {
+        match self {
+            FaultWindowKind::Outage => 1.0,
+            FaultWindowKind::RateDegradation { factor } => factor,
+            FaultWindowKind::PacketDrop { probability } => probability,
+            FaultWindowKind::PacketCorruption { probability } => probability,
+            FaultWindowKind::CreditLoss { credits } => credits as f64,
+        }
+    }
+
+    /// Dense discriminant for binary encodings.
+    pub fn code(self) -> u8 {
+        match self {
+            FaultWindowKind::Outage => 0,
+            FaultWindowKind::RateDegradation { .. } => 1,
+            FaultWindowKind::PacketDrop { .. } => 2,
+            FaultWindowKind::PacketCorruption { .. } => 3,
+            FaultWindowKind::CreditLoss { .. } => 4,
+        }
+    }
+}
+
+/// A passive observer of engine state transitions.
+///
+/// All hooks default to no-ops, so a sink overrides only what it
+/// needs. The associated `ENABLED` constant is the zero-cost switch:
+/// the engine guards every hook site (including the computation of
+/// hook arguments) with `if O::ENABLED`, which the compiler resolves
+/// per monomorphization — [`NoopObserver`] sets it to `false` and the
+/// whole tracing surface vanishes from the generated code.
+///
+/// Observers must be passive: they see interned node ids and
+/// timestamps but cannot influence the run, so the report of a traced
+/// run is byte-identical to the untraced run.
+#[allow(unused_variables)]
+pub trait SimObserver {
+    /// Compile-time switch; hook sites are elided when `false`.
+    const ENABLED: bool = true;
+
+    /// The run is about to start; `meta` describes its shape.
+    fn on_run_start(&mut self, meta: &RunMeta) {}
+
+    /// One scheduled fault window (reported per node at run start, in
+    /// node order, before any packet event).
+    fn on_fault_window(&mut self, node: u32, kind: FaultWindowKind, from: SimTime, until: SimTime) {
+    }
+
+    /// A packet entered the pipeline at the ingress engine.
+    fn on_inject(&mut self, now: SimTime, pkt: u64, size: u64, class: u32) {}
+
+    /// A packet joined `node`'s queue; `depth` is the waiting count
+    /// after admission.
+    fn on_enqueue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {}
+
+    /// A packet left `node`'s queue for service; `depth` is the
+    /// waiting count after removal.
+    fn on_dequeue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {}
+
+    /// An engine of `node` started serving the packet and stays
+    /// occupied for `occupancy` (service plus overhead).
+    fn on_service_start(&mut self, now: SimTime, node: u32, pkt: u64, occupancy: SimTime) {}
+
+    /// `node` finished serving the packet.
+    fn on_complete(&mut self, now: SimTime, node: u32, pkt: u64) {}
+
+    /// The packet reached the egress; `latency` is its end-to-end
+    /// sojourn.
+    fn on_deliver(&mut self, now: SimTime, pkt: u64, latency: SimTime) {}
+
+    /// The packet was discarded at `node`.
+    fn on_drop(&mut self, now: SimTime, node: u32, pkt: u64, reason: DropReason) {}
+
+    /// A refused packet was rescheduled; `attempt` is the retry count
+    /// consumed so far and `resume_at` when it re-presents.
+    fn on_retry(&mut self, now: SimTime, node: u32, pkt: u64, attempt: u32, resume_at: SimTime) {}
+
+    /// The event queue drained; `last` is the final event's timestamp
+    /// (at least the injection horizon).
+    fn on_run_end(&mut self, last: SimTime) {}
+}
+
+/// The default observer: every hook is a no-op *and* `ENABLED` is
+/// `false`, so traced and untraced code paths are literally the same
+/// machine code. [`Simulation::run`] is `run_with(&mut NoopObserver)`.
+///
+/// [`Simulation::run`]: crate::sim::Simulation::run
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Fan-out: a pair of observers receives every event in order
+/// (`self.0` first). Nest pairs to attach any number of sinks:
+/// `(&mut ring, (&mut sampler, &mut chrome))`-style composition via
+/// owned tuples.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.0.on_run_start(meta);
+        self.1.on_run_start(meta);
+    }
+
+    fn on_fault_window(&mut self, node: u32, kind: FaultWindowKind, from: SimTime, until: SimTime) {
+        self.0.on_fault_window(node, kind, from, until);
+        self.1.on_fault_window(node, kind, from, until);
+    }
+
+    fn on_inject(&mut self, now: SimTime, pkt: u64, size: u64, class: u32) {
+        self.0.on_inject(now, pkt, size, class);
+        self.1.on_inject(now, pkt, size, class);
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        self.0.on_enqueue(now, node, pkt, depth);
+        self.1.on_enqueue(now, node, pkt, depth);
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        self.0.on_dequeue(now, node, pkt, depth);
+        self.1.on_dequeue(now, node, pkt, depth);
+    }
+
+    fn on_service_start(&mut self, now: SimTime, node: u32, pkt: u64, occupancy: SimTime) {
+        self.0.on_service_start(now, node, pkt, occupancy);
+        self.1.on_service_start(now, node, pkt, occupancy);
+    }
+
+    fn on_complete(&mut self, now: SimTime, node: u32, pkt: u64) {
+        self.0.on_complete(now, node, pkt);
+        self.1.on_complete(now, node, pkt);
+    }
+
+    fn on_deliver(&mut self, now: SimTime, pkt: u64, latency: SimTime) {
+        self.0.on_deliver(now, pkt, latency);
+        self.1.on_deliver(now, pkt, latency);
+    }
+
+    fn on_drop(&mut self, now: SimTime, node: u32, pkt: u64, reason: DropReason) {
+        self.0.on_drop(now, node, pkt, reason);
+        self.1.on_drop(now, node, pkt, reason);
+    }
+
+    fn on_retry(&mut self, now: SimTime, node: u32, pkt: u64, attempt: u32, resume_at: SimTime) {
+        self.0.on_retry(now, node, pkt, attempt, resume_at);
+        self.1.on_retry(now, node, pkt, attempt, resume_at);
+    }
+
+    fn on_run_end(&mut self, last: SimTime) {
+        self.0.on_run_end(last);
+        self.1.on_run_end(last);
+    }
+}
+
+/// Forwarding: a mutable reference to an observer is itself an
+/// observer, so sinks can be attached without giving up ownership.
+impl<O: SimObserver> SimObserver for &mut O {
+    const ENABLED: bool = O::ENABLED;
+
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        (**self).on_run_start(meta);
+    }
+
+    fn on_fault_window(&mut self, node: u32, kind: FaultWindowKind, from: SimTime, until: SimTime) {
+        (**self).on_fault_window(node, kind, from, until);
+    }
+
+    fn on_inject(&mut self, now: SimTime, pkt: u64, size: u64, class: u32) {
+        (**self).on_inject(now, pkt, size, class);
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        (**self).on_enqueue(now, node, pkt, depth);
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        (**self).on_dequeue(now, node, pkt, depth);
+    }
+
+    fn on_service_start(&mut self, now: SimTime, node: u32, pkt: u64, occupancy: SimTime) {
+        (**self).on_service_start(now, node, pkt, occupancy);
+    }
+
+    fn on_complete(&mut self, now: SimTime, node: u32, pkt: u64) {
+        (**self).on_complete(now, node, pkt);
+    }
+
+    fn on_deliver(&mut self, now: SimTime, pkt: u64, latency: SimTime) {
+        (**self).on_deliver(now, pkt, latency);
+    }
+
+    fn on_drop(&mut self, now: SimTime, node: u32, pkt: u64, reason: DropReason) {
+        (**self).on_drop(now, node, pkt, reason);
+    }
+
+    fn on_retry(&mut self, now: SimTime, node: u32, pkt: u64, attempt: u32, resume_at: SimTime) {
+        (**self).on_retry(now, node, pkt, attempt, resume_at);
+    }
+
+    fn on_run_end(&mut self, last: SimTime) {
+        (**self).on_run_end(last);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring-buffered binary event log
+// ---------------------------------------------------------------------------
+
+/// Binary record kind codes (the `kind` byte of a [`TraceRecord`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RecordKind {
+    /// Packet injected; `aux` = wire size in bytes.
+    Inject = 0,
+    /// Packet enqueued; `aux` = queue depth after admission.
+    Enqueue = 1,
+    /// Packet dequeued; `aux` = queue depth after removal.
+    Dequeue = 2,
+    /// Service started; `aux` = occupancy in picoseconds.
+    ServiceStart = 3,
+    /// Node finished serving the packet; `aux` = 0.
+    Complete = 4,
+    /// Packet delivered at the egress; `aux` = latency in picoseconds.
+    Deliver = 5,
+    /// Packet dropped; `aux` = [`DropReason::code`].
+    Drop = 6,
+    /// Packet rescheduled; `aux` = resume time in picoseconds, `pkt`'s
+    /// top 8 bits carry the attempt count.
+    Retry = 7,
+    /// Fault window opens; `pkt` = [`FaultWindowKind::code`], `aux` =
+    /// the window parameter's IEEE-754 bits.
+    FaultOpen = 8,
+    /// Fault window closes; encoded like [`RecordKind::FaultOpen`].
+    FaultClose = 9,
+}
+
+impl RecordKind {
+    fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => RecordKind::Inject,
+            1 => RecordKind::Enqueue,
+            2 => RecordKind::Dequeue,
+            3 => RecordKind::ServiceStart,
+            4 => RecordKind::Complete,
+            5 => RecordKind::Deliver,
+            6 => RecordKind::Drop,
+            7 => RecordKind::Retry,
+            8 => RecordKind::FaultOpen,
+            9 => RecordKind::FaultClose,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded ring-log record. Interpretation of `pkt`/`aux` depends
+/// on [`RecordKind`] (documented on each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Event timestamp.
+    pub time: SimTime,
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Interned node id (`u32::MAX` for node-less events —
+    /// injections and deliveries).
+    pub node: u32,
+    /// Packet injection id (kind-specific for fault records).
+    pub pkt: u64,
+    /// Kind-specific payload.
+    pub aux: u64,
+}
+
+/// Size of one encoded record: `time (8) + pkt (8) + aux (8) +
+/// node (4) + kind (1) + pad (3)`.
+const REC_SIZE: usize = 32;
+
+/// Sentinel node id for events not tied to a node.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// A bounded binary event log: the newest `capacity` events, encoded
+/// as fixed 32-byte records in a preallocated ring.
+///
+/// The buffer is allocated once at construction, so attaching a ring
+/// log preserves the engine's zero-allocation steady state; when the
+/// ring wraps, the oldest records are overwritten ([`RingLog::dropped`]
+/// counts them). Records are written in event order, so
+/// [`RingLog::decode`] returns chronologically sorted events.
+///
+/// # Examples
+///
+/// ```
+/// use lognic_sim::trace::{RecordKind, RingLog};
+/// use lognic_sim::time::SimTime;
+/// use lognic_sim::trace::SimObserver;
+///
+/// let mut log = RingLog::with_capacity(2);
+/// log.on_inject(SimTime::from_nanos(1.0), 0, 1500, 0);
+/// log.on_inject(SimTime::from_nanos(2.0), 1, 1500, 0);
+/// log.on_inject(SimTime::from_nanos(3.0), 2, 1500, 0);
+/// let recs = log.decode();
+/// assert_eq!(recs.len(), 2, "bounded: oldest record was evicted");
+/// assert_eq!(log.dropped(), 1);
+/// assert_eq!(recs[0].pkt, 1);
+/// assert_eq!(recs[1].kind, RecordKind::Inject);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    buf: Vec<u8>,
+    capacity: usize,
+    written: u64,
+}
+
+impl RingLog {
+    /// A ring holding the newest `capacity` records (32 bytes each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring log needs at least one record slot");
+        RingLog {
+            buf: vec![0u8; capacity * REC_SIZE],
+            capacity,
+            written: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, time: SimTime, kind: RecordKind, node: u32, pkt: u64, aux: u64) {
+        let slot = (self.written as usize % self.capacity) * REC_SIZE;
+        let rec = &mut self.buf[slot..slot + REC_SIZE];
+        rec[0..8].copy_from_slice(&time.as_picos().to_le_bytes());
+        rec[8..16].copy_from_slice(&pkt.to_le_bytes());
+        rec[16..24].copy_from_slice(&aux.to_le_bytes());
+        rec[24..28].copy_from_slice(&node.to_le_bytes());
+        rec[28] = kind as u8;
+        rec[29..32].fill(0);
+        self.written += 1;
+    }
+
+    /// Total records observed (including evicted ones).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Record slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.written.saturating_sub(self.capacity as u64)
+    }
+
+    /// The raw ring bytes (encoding is little-endian and
+    /// deterministic, so identical runs produce identical bytes).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Decodes the retained records, oldest first.
+    pub fn decode(&self) -> Vec<TraceRecord> {
+        let retained = self.written.min(self.capacity as u64) as usize;
+        let start = if self.written as usize > self.capacity {
+            self.written as usize % self.capacity
+        } else {
+            0
+        };
+        (0..retained)
+            .filter_map(|i| {
+                let slot = ((start + i) % self.capacity) * REC_SIZE;
+                let rec = &self.buf[slot..slot + REC_SIZE];
+                let word = |r: std::ops::Range<usize>| {
+                    u64::from_le_bytes(rec[r].try_into().expect("8-byte slice"))
+                };
+                Some(TraceRecord {
+                    time: SimTime::from_picos(word(0..8)),
+                    pkt: word(8..16),
+                    aux: word(16..24),
+                    node: u32::from_le_bytes(rec[24..28].try_into().expect("4-byte slice")),
+                    kind: RecordKind::from_code(rec[28])?,
+                })
+            })
+            .collect()
+    }
+}
+
+impl SimObserver for RingLog {
+    fn on_fault_window(&mut self, node: u32, kind: FaultWindowKind, from: SimTime, until: SimTime) {
+        let param = kind.parameter().to_bits();
+        self.push(from, RecordKind::FaultOpen, node, kind.code() as u64, param);
+        self.push(
+            until,
+            RecordKind::FaultClose,
+            node,
+            kind.code() as u64,
+            param,
+        );
+    }
+
+    fn on_inject(&mut self, now: SimTime, pkt: u64, size: u64, _class: u32) {
+        self.push(now, RecordKind::Inject, NO_NODE, pkt, size);
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        self.push(now, RecordKind::Enqueue, node, pkt, depth as u64);
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, node: u32, pkt: u64, depth: u32) {
+        self.push(now, RecordKind::Dequeue, node, pkt, depth as u64);
+    }
+
+    fn on_service_start(&mut self, now: SimTime, node: u32, pkt: u64, occupancy: SimTime) {
+        self.push(
+            now,
+            RecordKind::ServiceStart,
+            node,
+            pkt,
+            occupancy.as_picos(),
+        );
+    }
+
+    fn on_complete(&mut self, now: SimTime, node: u32, pkt: u64) {
+        self.push(now, RecordKind::Complete, node, pkt, 0);
+    }
+
+    fn on_deliver(&mut self, now: SimTime, pkt: u64, latency: SimTime) {
+        self.push(now, RecordKind::Deliver, NO_NODE, pkt, latency.as_picos());
+    }
+
+    fn on_drop(&mut self, now: SimTime, node: u32, pkt: u64, reason: DropReason) {
+        self.push(now, RecordKind::Drop, node, pkt, reason.code() as u64);
+    }
+
+    fn on_retry(&mut self, now: SimTime, node: u32, pkt: u64, attempt: u32, resume_at: SimTime) {
+        // The attempt count rides in the packet word's top byte — ids
+        // are injection counters and stay far below 2^56.
+        let pkt_attempt = pkt | ((attempt as u64) << 56);
+        self.push(
+            now,
+            RecordKind::Retry,
+            node,
+            pkt_attempt,
+            resume_at.as_picos(),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node time-series sampler
+// ---------------------------------------------------------------------------
+
+/// One sample of one node's state at a tick instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sample {
+    /// Waiting packets in the node's queue.
+    pub depth: u32,
+    /// Engines busy serving.
+    pub busy: u32,
+    /// Instantaneous utilization `busy / engines` (0 for movers).
+    pub rho: f64,
+    /// Cumulative drops at the node since the run started.
+    pub drops: u64,
+    /// Cumulative retries charged to the node since the run started.
+    pub retries: u64,
+}
+
+/// A [`SimObserver`] that samples every node's state on a fixed Δt
+/// grid.
+///
+/// State is piecewise constant between events, so sampling at event
+/// boundaries is exact: whenever an event advances past one or more
+/// tick instants, the sampler records the state *as of each tick*
+/// (i.e. before applying events stamped exactly at the tick — the
+/// "state at `t⁻`" convention, which makes the series independent of
+/// intra-tick event ordering).
+///
+/// Memory grows with `nodes × ticks`; pick Δt accordingly. Convert the
+/// collected series with [`TimeSeriesSampler::into_timeline`], or use
+/// [`Simulation::timeline`] for the one-call form.
+///
+/// [`Simulation::timeline`]: crate::sim::Simulation::timeline
+#[derive(Debug, Clone)]
+pub struct TimeSeriesSampler {
+    dt: SimTime,
+    next_tick: SimTime,
+    names: Vec<String>,
+    engines: Vec<u32>,
+    state: Vec<Sample>,
+    ticks: Vec<SimTime>,
+    /// `series[node][tick]`, parallel to `ticks`.
+    series: Vec<Vec<Sample>>,
+}
+
+impl TimeSeriesSampler {
+    /// A sampler on a `dt` grid (first sample at `dt`, not 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn new(dt: Seconds) -> Self {
+        let dt = SimTime::from_secs(dt.as_secs());
+        assert!(dt > SimTime::ZERO, "sampler needs a positive Δt");
+        TimeSeriesSampler {
+            dt,
+            next_tick: dt,
+            names: Vec::new(),
+            engines: Vec::new(),
+            state: Vec::new(),
+            ticks: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn flush(&mut self, now: SimTime) {
+        while self.next_tick <= now {
+            self.ticks.push(self.next_tick);
+            for (node, s) in self.state.iter().enumerate() {
+                self.series[node].push(*s);
+            }
+            self.next_tick += self.dt;
+        }
+    }
+
+    /// Finishes the run and returns the collected timeline.
+    pub fn into_timeline(self) -> Timeline {
+        Timeline {
+            dt: self.dt,
+            names: self.names,
+            engines: self.engines,
+            ticks: self.ticks,
+            series: self.series,
+        }
+    }
+}
+
+impl SimObserver for TimeSeriesSampler {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.names = meta.nodes.iter().map(|n| n.name.clone()).collect();
+        self.engines = meta.nodes.iter().map(|n| n.engines).collect();
+        self.state = vec![Sample::default(); meta.nodes.len()];
+        self.series = vec![Vec::new(); meta.nodes.len()];
+        self.ticks.clear();
+        self.next_tick = self.dt;
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, node: u32, _pkt: u64, depth: u32) {
+        self.flush(now);
+        self.state[node as usize].depth = depth;
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, node: u32, _pkt: u64, depth: u32) {
+        self.flush(now);
+        self.state[node as usize].depth = depth;
+    }
+
+    fn on_service_start(&mut self, now: SimTime, node: u32, _pkt: u64, _occupancy: SimTime) {
+        self.flush(now);
+        let s = &mut self.state[node as usize];
+        s.busy += 1;
+        s.rho = s.busy as f64 / self.engines[node as usize].max(1) as f64;
+    }
+
+    fn on_complete(&mut self, now: SimTime, node: u32, _pkt: u64) {
+        self.flush(now);
+        let s = &mut self.state[node as usize];
+        s.busy = s.busy.saturating_sub(1);
+        s.rho = s.busy as f64 / self.engines[node as usize].max(1) as f64;
+    }
+
+    fn on_deliver(&mut self, now: SimTime, _pkt: u64, _latency: SimTime) {
+        self.flush(now);
+    }
+
+    fn on_drop(&mut self, now: SimTime, node: u32, _pkt: u64, _reason: DropReason) {
+        self.flush(now);
+        self.state[node as usize].drops += 1;
+    }
+
+    fn on_retry(&mut self, now: SimTime, node: u32, _pkt: u64, _attempt: u32, _resume: SimTime) {
+        self.flush(now);
+        self.state[node as usize].retries += 1;
+    }
+
+    fn on_run_end(&mut self, last: SimTime) {
+        self.flush(last);
+    }
+}
+
+/// The per-node time series a [`TimeSeriesSampler`] collected:
+/// `nodes × ticks` samples on a fixed Δt grid, renderable to CSV or
+/// JSON for the EXPERIMENTS figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    dt: SimTime,
+    names: Vec<String>,
+    engines: Vec<u32>,
+    ticks: Vec<SimTime>,
+    series: Vec<Vec<Sample>>,
+}
+
+impl Timeline {
+    /// The sampling interval.
+    pub fn dt(&self) -> Seconds {
+        self.dt.to_seconds()
+    }
+
+    /// Node names, indexed by interned node id.
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The tick instants, in order.
+    pub fn ticks(&self) -> &[SimTime] {
+        &self.ticks
+    }
+
+    /// One node's samples (parallel to [`Timeline::ticks`]), by name.
+    pub fn node(&self, name: &str) -> Option<&[Sample]> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.series[idx])
+    }
+
+    /// Renders `time_s,node,depth,busy,rho,drops,retries` rows, one
+    /// per `(tick, node)` pair, tick-major.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_s,node,depth,busy,rho,drops,retries\n");
+        for (k, t) in self.ticks.iter().enumerate() {
+            for (node, name) in self.names.iter().enumerate() {
+                let s = self.series[node][k];
+                out.push_str(&format!(
+                    "{:.9},{},{},{},{:.6},{},{}\n",
+                    t.as_secs(),
+                    name,
+                    s.depth,
+                    s.busy,
+                    s.rho,
+                    s.drops,
+                    s.retries
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the series as one JSON object:
+    /// `{"dt_s": .., "ticks_s": [..], "nodes": [{"name", "engines",
+    /// "depth", "busy", "rho", "drops", "retries"}, ..]}` with one
+    /// column array per metric (compact and plot-ready).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"dt_s\":{:.9},\"ticks_s\":[", self.dt.as_secs()));
+        for (i, t) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{:.9}", t.as_secs()));
+        }
+        out.push_str("],\"nodes\":[");
+        for (node, name) in self.names.iter().enumerate() {
+            if node > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"engines\":{}",
+                json_string(name),
+                self.engines[node]
+            ));
+            let col = |f: &dyn Fn(&Sample) -> String| -> String {
+                self.series[node]
+                    .iter()
+                    .map(f)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!(",\"depth\":[{}]", col(&|s| s.depth.to_string())));
+            out.push_str(&format!(",\"busy\":[{}]", col(&|s| s.busy.to_string())));
+            out.push_str(&format!(",\"rho\":[{}]", col(&|s| format!("{:.6}", s.rho))));
+            out.push_str(&format!(",\"drops\":[{}]", col(&|s| s.drops.to_string())));
+            out.push_str(&format!(
+                ",\"retries\":[{}]}}",
+                col(&|s| s.retries.to_string())
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event exporter
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for inclusion in JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats picoseconds as the Chrome trace format's microsecond
+/// timestamps, exactly (six fractional digits = picosecond precision).
+fn ts_us(ps: u64) -> String {
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// A [`SimObserver`] exporting the run as Chrome `trace_event` JSON —
+/// openable in [Perfetto](https://ui.perfetto.dev) or
+/// `chrome://tracing`.
+///
+/// Track layout: `tid 0` is the packet track (injections and
+/// deliveries as instants); each node gets its own named track
+/// (`tid = node + 1`) carrying service spans, fault-window spans and
+/// drop/retry instants; queue depths are emitted as counter tracks
+/// (`queue@<node>`).
+///
+/// Memory is proportional to the number of exported events; cap it
+/// with [`ChromeTrace::with_limit`] (further packet events are counted
+/// in [`ChromeTrace::truncated`] and skipped — fault windows and
+/// metadata are always kept).
+#[derive(Debug, Clone)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+    names: Vec<String>,
+    limit: usize,
+    packet_events: usize,
+    truncated: u64,
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTrace {
+    /// An unbounded exporter.
+    pub fn new() -> Self {
+        ChromeTrace {
+            events: Vec::new(),
+            names: Vec::new(),
+            limit: usize::MAX,
+            packet_events: 0,
+            truncated: 0,
+        }
+    }
+
+    /// Caps the exported packet-event count; subsequent events are
+    /// dropped (and counted) instead of growing the buffer.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Packet events dropped by the [`ChromeTrace::with_limit`] cap.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Exported events so far (including metadata records).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been exported yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    #[inline]
+    fn emit(&mut self, event: String) {
+        if self.packet_events >= self.limit {
+            self.truncated += 1;
+            return;
+        }
+        self.packet_events += 1;
+        self.events.push(event);
+    }
+
+    fn node_name(&self, node: u32) -> &str {
+        self.names
+            .get(node as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Serializes the collected events as a Chrome JSON object
+    /// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`).
+    pub fn into_json(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+impl SimObserver for ChromeTrace {
+    fn on_run_start(&mut self, meta: &RunMeta) {
+        self.names = meta.nodes.iter().map(|n| n.name.clone()).collect();
+        self.events.push(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"lognic-sim\"}}"
+                .to_owned(),
+        );
+        self.events.push(
+            "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
+             \"args\":{\"name\":\"packets\"}}"
+                .to_owned(),
+        );
+        for (i, n) in meta.nodes.iter().enumerate() {
+            self.events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                i + 1,
+                json_string(&n.name)
+            ));
+        }
+    }
+
+    fn on_fault_window(&mut self, node: u32, kind: FaultWindowKind, from: SimTime, until: SimTime) {
+        // Fault windows are structural (reported at run start); they
+        // bypass the packet-event limit.
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"fault:{}\",\
+             \"cat\":\"fault\",\"args\":{{\"parameter\":{:.6}}}}}",
+            node + 1,
+            ts_us(from.as_picos()),
+            ts_us(until.since(from).as_picos()),
+            kind.label(),
+            kind.parameter()
+        ));
+    }
+
+    fn on_inject(&mut self, now: SimTime, pkt: u64, size: u64, class: u32) {
+        self.emit(format!(
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"inject\",\"s\":\"t\",\
+             \"args\":{{\"pkt\":{pkt},\"size\":{size},\"class\":{class}}}}}",
+            ts_us(now.as_picos())
+        ));
+    }
+
+    fn on_enqueue(&mut self, now: SimTime, node: u32, _pkt: u64, depth: u32) {
+        self.emit(format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"name\":{},\"args\":{{\"depth\":{depth}}}}}",
+            ts_us(now.as_picos()),
+            json_string(&format!("queue@{}", self.node_name(node)))
+        ));
+    }
+
+    fn on_dequeue(&mut self, now: SimTime, node: u32, _pkt: u64, depth: u32) {
+        self.emit(format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"ts\":{},\"name\":{},\"args\":{{\"depth\":{depth}}}}}",
+            ts_us(now.as_picos()),
+            json_string(&format!("queue@{}", self.node_name(node)))
+        ));
+    }
+
+    fn on_service_start(&mut self, now: SimTime, node: u32, pkt: u64, occupancy: SimTime) {
+        self.emit(format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"service\",\
+             \"cat\":\"service\",\"args\":{{\"pkt\":{pkt}}}}}",
+            node + 1,
+            ts_us(now.as_picos()),
+            ts_us(occupancy.as_picos())
+        ));
+    }
+
+    fn on_deliver(&mut self, now: SimTime, pkt: u64, latency: SimTime) {
+        self.emit(format!(
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"deliver\",\"s\":\"t\",\
+             \"args\":{{\"pkt\":{pkt},\"latency_us\":{}}}}}",
+            ts_us(now.as_picos()),
+            ts_us(latency.as_picos())
+        ));
+    }
+
+    fn on_drop(&mut self, now: SimTime, node: u32, pkt: u64, reason: DropReason) {
+        self.emit(format!(
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"drop:{}\",\"s\":\"t\",\
+             \"args\":{{\"pkt\":{pkt}}}}}",
+            node + 1,
+            ts_us(now.as_picos()),
+            reason.label()
+        ));
+    }
+
+    fn on_retry(&mut self, now: SimTime, node: u32, pkt: u64, attempt: u32, resume_at: SimTime) {
+        self.emit(format!(
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":\"retry\",\"s\":\"t\",\
+             \"args\":{{\"pkt\":{pkt},\"attempt\":{attempt},\"resume_us\":{}}}}}",
+            node + 1,
+            ts_us(now.as_picos()),
+            ts_us(resume_at.as_picos())
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: f64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn ring_encodes_and_decodes_every_kind() {
+        let mut log = RingLog::with_capacity(16);
+        log.on_fault_window(
+            2,
+            FaultWindowKind::RateDegradation { factor: 0.25 },
+            t(10.0),
+            t(20.0),
+        );
+        log.on_inject(t(1.0), 7, 1500, 3);
+        log.on_enqueue(t(2.0), 1, 7, 4);
+        log.on_dequeue(t(3.0), 1, 7, 3);
+        log.on_service_start(t(4.0), 1, 7, t(5.0));
+        log.on_complete(t(9.0), 1, 7);
+        log.on_deliver(t(10.0), 7, t(9.0));
+        log.on_drop(t(11.0), 1, 8, DropReason::DeadlineExpired);
+        log.on_retry(t(12.0), 1, 9, 2, t(15.0));
+        let recs = log.decode();
+        assert_eq!(recs.len(), 10, "fault window yields open+close");
+        assert_eq!(recs[0].kind, RecordKind::FaultOpen);
+        assert_eq!(recs[0].node, 2);
+        assert_eq!(f64::from_bits(recs[0].aux), 0.25);
+        assert_eq!(recs[1].kind, RecordKind::FaultClose);
+        assert_eq!(recs[2].kind, RecordKind::Inject);
+        assert_eq!(recs[2].node, NO_NODE);
+        assert_eq!((recs[2].pkt, recs[2].aux), (7, 1500));
+        assert_eq!(recs[3].aux, 4, "enqueue carries depth");
+        assert_eq!(recs[5].aux, t(5.0).as_picos(), "occupancy in ps");
+        assert_eq!(recs[7].aux, t(9.0).as_picos(), "latency in ps");
+        assert_eq!(recs[8].aux, DropReason::DeadlineExpired.code() as u64);
+        let retry = recs[9];
+        assert_eq!(retry.pkt & 0x00ff_ffff_ffff_ffff, 9);
+        assert_eq!(retry.pkt >> 56, 2, "attempt in the top byte");
+        assert_eq!(retry.aux, t(15.0).as_picos());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let mut log = RingLog::with_capacity(4);
+        for i in 0..10u64 {
+            log.on_inject(t(i as f64), i, 64, 0);
+        }
+        assert_eq!(log.written(), 10);
+        assert_eq!(log.dropped(), 6);
+        assert_eq!(log.bytes().len(), 4 * REC_SIZE, "memory stays fixed");
+        let ids: Vec<u64> = log.decode().iter().map(|r| r.pkt).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sampler_records_state_on_the_tick_grid() {
+        let mut s = TimeSeriesSampler::new(Seconds::new(1e-6));
+        s.on_run_start(&RunMeta {
+            seed: 0,
+            duration: SimTime::from_micros(4.0),
+            warmup: SimTime::ZERO,
+            nodes: vec![
+                NodeMeta {
+                    name: "in".into(),
+                    engines: 0,
+                    queue_capacity: 0,
+                },
+                NodeMeta {
+                    name: "ip".into(),
+                    engines: 2,
+                    queue_capacity: 8,
+                },
+            ],
+            ingress: 0,
+            egress: 1,
+        });
+        // Before the first tick: one busy engine, depth 3.
+        s.on_service_start(SimTime::from_nanos(100.0), 1, 0, t(50.0));
+        s.on_enqueue(SimTime::from_nanos(200.0), 1, 1, 3);
+        // Crosses tick 1 µs and 2 µs: state as of those ticks is the
+        // pre-event state above.
+        s.on_drop(SimTime::from_micros(2.5), 1, 2, DropReason::QueueFull);
+        s.on_run_end(SimTime::from_micros(4.0));
+        let tl = s.into_timeline();
+        assert_eq!(tl.ticks().len(), 4);
+        let ip = tl.node("ip").expect("node exists");
+        assert_eq!(ip[0].depth, 3);
+        assert_eq!(ip[0].busy, 1);
+        assert!((ip[0].rho - 0.5).abs() < 1e-12);
+        assert_eq!(ip[1].drops, 0, "drop at 2.5 µs is after the 2 µs tick");
+        assert_eq!(ip[2].drops, 1, "…and visible at the 3 µs tick");
+        assert!(tl.node("ghost").is_none());
+        // Renderings cover every (tick, node) pair.
+        let csv = tl.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4 * 2);
+        assert!(csv.starts_with("time_s,node,depth,busy,rho,drops,retries"));
+        let json = tl.to_json();
+        assert!(json.contains("\"name\":\"ip\""));
+        assert!(json.contains("\"depth\":[3,3,3,3]"));
+    }
+
+    #[test]
+    fn chrome_trace_is_structured_and_bounded() {
+        let mut c = ChromeTrace::new().with_limit(3);
+        c.on_run_start(&RunMeta {
+            seed: 0,
+            duration: SimTime::from_micros(1.0),
+            warmup: SimTime::ZERO,
+            nodes: vec![NodeMeta {
+                name: "crypto \"x\"".into(),
+                engines: 1,
+                queue_capacity: 4,
+            }],
+            ingress: 0,
+            egress: 0,
+        });
+        let metadata = c.len();
+        c.on_service_start(t(1.0), 0, 1, t(2.0));
+        c.on_inject(t(1.0), 1, 64, 0);
+        c.on_deliver(t(3.0), 1, t(2.0));
+        c.on_drop(t(4.0), 0, 2, DropReason::Outage); // over the limit
+        assert_eq!(c.len(), metadata + 3);
+        assert_eq!(c.truncated(), 1);
+        let json = c.into_json();
+        assert!(json.contains("\\\"x\\\""), "names are escaped: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(ts_us(0), "0.000000");
+        assert_eq!(ts_us(1), "0.000001");
+        assert_eq!(ts_us(1_500_000), "1.500000");
+        assert_eq!(ts_us(123_456_789_012), "123456.789012");
+    }
+
+    #[test]
+    fn pair_observer_fans_out_in_order() {
+        let mut pair = (RingLog::with_capacity(4), RingLog::with_capacity(4));
+        pair.on_inject(t(1.0), 1, 64, 0);
+        pair.on_deliver(t(2.0), 1, t(1.0));
+        assert_eq!(pair.0.decode(), pair.1.decode());
+        const { assert!(<(RingLog, RingLog) as SimObserver>::ENABLED) };
+        const { assert!(!NoopObserver::ENABLED) };
+    }
+
+    #[test]
+    fn drop_reason_codes_round_trip() {
+        for r in [
+            DropReason::QueueFull,
+            DropReason::Outage,
+            DropReason::FaultDrop,
+            DropReason::DeadlineExpired,
+            DropReason::MediaBacklog,
+        ] {
+            assert_eq!(DropReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(DropReason::from_code(99), None);
+    }
+}

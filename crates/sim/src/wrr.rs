@@ -161,6 +161,11 @@ impl WrrQueues {
     pub fn queue_count(&self) -> usize {
         self.queues.len()
     }
+
+    /// Total waiting-packet capacity across all queues.
+    pub fn total_capacity(&self) -> u32 {
+        self.specs.iter().map(|q| q.capacity).sum()
+    }
 }
 
 #[cfg(test)]

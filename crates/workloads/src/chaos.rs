@@ -16,6 +16,7 @@ use lognic_model::fault::{FaultPlan, RetryPolicy};
 use lognic_model::units::{Bandwidth, Bytes, Seconds};
 use lognic_sim::metrics::SimReport;
 use lognic_sim::sim::{SimConfig, Simulation};
+use lognic_sim::trace::{NoopObserver, SimObserver};
 
 /// A workload plus the fault plan scheduled against it.
 #[derive(Debug, Clone)]
@@ -34,6 +35,21 @@ impl ChaosScenario {
     ///
     /// Propagates plan-validation and watchdog errors.
     pub fn simulate(&self, config: SimConfig) -> LogNicResult<SimReport> {
+        self.simulate_with(config, &mut NoopObserver)
+    }
+
+    /// Runs the simulator with the fault plan installed and a trace
+    /// observer attached — the entry point `trace_dump` uses to export
+    /// Perfetto-openable brownout timelines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-validation and watchdog errors.
+    pub fn simulate_with<O: SimObserver>(
+        &self,
+        config: SimConfig,
+        observer: &mut O,
+    ) -> LogNicResult<SimReport> {
         Simulation::builder(
             &self.scenario.graph,
             &self.scenario.hardware,
@@ -41,7 +57,7 @@ impl ChaosScenario {
         )
         .config(config)
         .with_fault_plan(self.plan.clone())
-        .run()
+        .run_with(observer)
     }
 }
 

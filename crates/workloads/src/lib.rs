@@ -35,3 +35,12 @@ pub mod scenario;
 pub mod switch_kv;
 
 pub use scenario::{Comparison, Scenario};
+
+/// The workspace-wide blessed surface (model + simulator preludes)
+/// plus this crate's scenario entry points.
+pub mod prelude {
+    pub use lognic_sim::prelude::*;
+
+    pub use crate::chaos::{accelerator_brownout, duty_cycle_sweep, ChaosPoint, ChaosScenario};
+    pub use crate::scenario::{Comparison, Scenario};
+}

@@ -7,9 +7,7 @@
 //! ```console
 //! $ cargo run --release --example chaos_fault_injection
 //! ```
-use lognic::model::prelude::*;
-use lognic::sim::sim::SimConfig;
-use lognic::workloads::chaos::{accelerator_brownout, duty_cycle_sweep};
+use lognic::prelude::*;
 
 fn main() -> LogNicResult<()> {
     let rate = Bandwidth::gbps(8.0);
@@ -44,10 +42,13 @@ fn main() -> LogNicResult<()> {
         &chaos.scenario.hardware,
         &chaos.scenario.traffic,
     )
-    .estimate_degraded(&chaos.plan, cfg.duration)?;
-    println!("model availability    = {:.4}", est.availability);
-    println!("model retry inflation = {:.4}", est.retry_inflation);
-    println!("model goodput         = {}", est.goodput);
+    .request()
+    .with_faults(&chaos.plan, cfg.duration)
+    .evaluate()?;
+    let degraded = est.degraded.expect("fault plan produces a degraded view");
+    println!("model availability    = {:.4}", degraded.availability);
+    println!("model retry inflation = {:.4}", degraded.retry_inflation);
+    println!("model goodput         = {}", degraded.goodput);
 
     // The chaos sweep: outage duty cycle vs tail latency and loss.
     println!();

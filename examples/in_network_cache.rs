@@ -7,8 +7,7 @@
 //!
 //! Run with `cargo run --release --example in_network_cache`.
 
-use lognic::model::units::{Bandwidth, Seconds};
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::switch_kv::{capacity_qps, netcache, QUERY_SIZE};
 
 fn main() {

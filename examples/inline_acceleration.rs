@@ -7,9 +7,8 @@
 //! Run with `cargo run --release --example inline_acceleration`.
 
 use lognic::devices::liquidio::LiquidIo;
-use lognic::model::units::{Bytes, Seconds};
 use lognic::optimizer::suggest::suggest_inline_cores;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::inline_accel::{inline, FIG9_ACCELS};
 
 fn main() {

@@ -6,9 +6,8 @@
 //!
 //! Run with `cargo run --release --example microservice_tuning`.
 
-use lognic::model::units::Seconds;
 use lognic::optimizer::suggest::{suggest_core_allocation, suggest_nic_host_split};
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::microservices::{capacity, scenario, split_capacity, AllocationScheme, App};
 
 fn main() {

@@ -8,8 +8,7 @@
 //!
 //! Run with `cargo run --release --example multi_tenant`.
 
-use lognic::model::extensions::{consolidate, Tenant};
-use lognic::model::prelude::*;
+use lognic::prelude::*;
 
 fn crypto_pipeline() -> lognic::model::error::Result<ExecutionGraph> {
     let mut b = ExecutionGraph::builder("tenant-crypto");

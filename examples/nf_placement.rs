@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example nf_placement`.
 
 use lognic::devices::bluefield::NetworkFunction;
-use lognic::model::units::Bytes;
+use lognic::prelude::*;
 use lognic::workloads::nf_placement::{capacity, optimal_for, Placement};
 
 fn describe(p: Placement) -> String {

@@ -8,8 +8,7 @@
 //! Run with `cargo run --release --example nvmeof_target`.
 
 use lognic::devices::stingray::{fit_service, IoPattern, SsdProfile};
-use lognic::model::units::Seconds;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::nvmeof::{
     characterize_ssd, nvmeof_with_ssd_params, rate_for_iops, simulate_with_ssd,
 };

@@ -7,8 +7,8 @@
 //!
 //! Run with `cargo run --release --example panic_design`.
 
-use lognic::model::units::{Bandwidth, Bytes};
 use lognic::optimizer::suggest::{suggest_credits, suggest_ip4_degree, suggest_steering_split};
+use lognic::prelude::*;
 use lognic::workloads::panic_scenarios::{
     hybrid, pipelined_chain, steering, CREDIT_PROFILES, HYBRID_SPLITS, STATIC_SPLITS,
 };

@@ -4,10 +4,9 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
+use lognic::prelude::*;
 
-fn main() -> lognic::model::error::LogNicResult<()> {
+fn main() -> LogNicResult<()> {
     // 1. Describe the program as an execution graph: packets flow
     //    ingress → NIC cores → crypto engine → egress.
     let mut b = ExecutionGraph::builder("udp-echo-md5");
@@ -35,7 +34,7 @@ fn main() -> lognic::model::error::LogNicResult<()> {
     let traffic = TrafficProfile::fixed(Bandwidth::gbps(25.0), Bytes::new(1500));
 
     // 3. Estimate.
-    let estimate = Estimator::new(&graph, &hw, &traffic).estimate()?;
+    let estimate = Estimator::new(&graph, &hw, &traffic).request().evaluate()?;
     println!(
         "attainable throughput : {}",
         estimate.throughput.attainable()

@@ -5,9 +5,7 @@
 //! ```console
 //! $ cargo run --release --example replicate_demo
 //! ```
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 
 fn main() {
     let g = ExecutionGraph::chain(

@@ -6,9 +6,7 @@
 //!
 //! Run with `cargo run --release --example traffic_sensitivity`.
 
-use lognic::model::prelude::*;
-use lognic::model::sweep::rate_sweep;
-use lognic::model::transform::{insert_rate_limiter, unroll_recirculation, with_bypass};
+use lognic::prelude::*;
 
 fn offload() -> lognic::model::error::Result<ExecutionGraph> {
     // A per-packet-cost-heavy offload: great at MTU, terrible at 64 B.

@@ -11,12 +11,9 @@
 
 use lognic::devices::liquidio::{Accelerator, LiquidIo};
 use lognic::devices::stingray::IoPattern;
-use lognic::model::units::{Bandwidth, Bytes, Seconds};
 use lognic::optimizer::suggest;
-use lognic::sim::sim::SimConfig;
-use lognic::workloads::{
-    inline_accel, microservices, nf_placement, nvmeof, panic_scenarios, Scenario,
-};
+use lognic::prelude::*;
+use lognic::workloads::{inline_accel, microservices, nf_placement, nvmeof, panic_scenarios};
 
 struct Flags {
     rate_gbps: Option<f64>,

@@ -43,3 +43,31 @@ pub use lognic_model as model;
 pub use lognic_optimizer as optimizer;
 pub use lognic_sim as sim;
 pub use lognic_workloads as workloads;
+
+/// The blessed API surface of the whole workspace, aggregated: the
+/// analytical model ([`model::prelude`]), the simulator and its trace
+/// observers ([`sim::prelude`]), the calibrated scenarios
+/// ([`workloads::prelude`]) and the optimizer
+/// ([`optimizer::prelude`]) behind one glob import.
+///
+/// ```
+/// use lognic::prelude::*;
+///
+/// # fn main() -> LogNicResult<()> {
+/// let g = ExecutionGraph::chain("echo", &[("core", IpParams::new(Bandwidth::gbps(10.0)))])?;
+/// let hw = HardwareModel::default();
+/// let t = TrafficProfile::fixed(Bandwidth::gbps(5.0), Bytes::new(1500));
+/// let estimate = Estimator::new(&g, &hw, &t).request().evaluate()?;
+/// let report = Simulation::builder(&g, &hw, &t).run()?;
+/// assert!((estimate.delivered.as_gbps() - report.throughput.as_gbps()).abs() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use lognic_model::prelude::*;
+    pub use lognic_optimizer::prelude::*;
+    pub use lognic_sim::prelude::*;
+    pub use lognic_workloads::prelude::*;
+
+    pub use lognic_devices::prelude::CostModel;
+}

@@ -14,10 +14,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use lognic::model::analyze::{AnalysisConfig, Code};
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::broken::all_broken;
 use lognic_testkit::{ensure, Gen, Property};
 

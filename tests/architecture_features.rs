@@ -3,10 +3,7 @@
 //! isolation and trace replay — each validated model-vs-simulation
 //! where both sides exist.
 
-use lognic::model::prelude::*;
-use lognic::model::transform::{insert_rate_limiter, unroll_recirculation, with_bypass};
-use lognic::sim::prelude::*;
-use lognic::sim::time::SimTime;
+use lognic::prelude::*;
 
 fn hw() -> HardwareModel {
     HardwareModel::new(Bandwidth::gbps(10_000.0), Bandwidth::gbps(10_000.0))

@@ -4,9 +4,8 @@
 
 use lognic::devices::liquidio::{Accelerator, LiquidIo};
 use lognic::devices::stingray::IoPattern;
-use lognic::model::units::{Bandwidth, Bytes, Seconds};
 use lognic::optimizer::suggest;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 use lognic::workloads::{inline_accel, microservices, nf_placement, nvmeof, panic_scenarios};
 
 fn cfg(ms: f64) -> SimConfig {

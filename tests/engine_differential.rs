@@ -13,9 +13,7 @@
 //! and fault plans via the in-repo `lognic-testkit` harness; a failing
 //! case panics with its seed for exact replay.
 
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::Engine;
+use lognic::prelude::*;
 use lognic_testkit::{ensure, Gen, Property};
 
 /// A random 1–4 stage chain with varied peaks, parallelism and queues.
@@ -146,6 +144,51 @@ fn engines_are_bit_identical_across_random_scenarios() {
             ensure!(
                 format!("{wheel:?}") == format!("{heap:?}"),
                 "debug renderings diverged"
+            );
+            Ok(())
+        });
+}
+
+/// Property: attaching a live ring-log observer never changes the
+/// report, and both engines emit the byte-identical event stream —
+/// the observability layer is passive and deterministic over the
+/// whole randomized scenario space, not just the pinned fixtures in
+/// `tests/trace.rs`.
+#[test]
+fn traced_runs_match_untraced_on_both_engines() {
+    Property::new("traced_runs_match_untraced_on_both_engines")
+        .cases(24)
+        .check(|g| {
+            let graph = arb_chain(g);
+            let traffic = arb_traffic(g);
+            let plan = arb_plan(g, &graph);
+            let seed = g.u64(0..u64::MAX - 1);
+            let hw = HardwareModel::new(Bandwidth::gbps(400.0), Bandwidth::gbps(400.0));
+
+            let mut rings = Vec::new();
+            for engine in [Engine::Calendar, Engine::ReferenceHeap] {
+                let untraced = run(&graph, &traffic, &plan, seed, engine);
+                let mut ring = RingLog::with_capacity(1 << 16);
+                let mut b = Simulation::builder(&graph, &hw, &traffic)
+                    .seed(seed)
+                    .duration(Seconds::millis(10.0))
+                    .warmup(Seconds::millis(2.0))
+                    .engine(engine);
+                if let Some(p) = &plan {
+                    b = b.with_fault_plan(p.clone());
+                }
+                let traced = b
+                    .run_with(&mut ring)
+                    .expect("generated scenarios are valid");
+                ensure!(
+                    untraced == traced,
+                    "observer perturbed the run (engine {engine:?})"
+                );
+                rings.push(ring);
+            }
+            ensure!(
+                rings[0].bytes() == rings[1].bytes(),
+                "engines emitted different event streams"
             );
             Ok(())
         });

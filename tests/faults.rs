@@ -3,9 +3,7 @@
 //! degraded service, determinism of fault outcomes, and the typed
 //! error surface of malformed plans.
 
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 
 fn hw() -> HardwareModel {
     HardwareModel::new(Bandwidth::gbps(10_000.0), Bandwidth::gbps(10_000.0))

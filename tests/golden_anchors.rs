@@ -8,8 +8,8 @@
 //! cheap tripwire.
 
 use lognic::devices::liquidio::{Accelerator, LiquidIo};
-use lognic::model::units::{Bandwidth, Bytes};
 use lognic::optimizer::suggest;
+use lognic::prelude::*;
 use lognic::workloads::{inline_accel, panic_scenarios};
 
 /// Fig. 5: at 16 KB granularity the CRC / 3DES / MD5 / HFA offload

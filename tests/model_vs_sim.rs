@@ -3,10 +3,7 @@
 //! across load levels, topologies and parallelism — the property the
 //! paper validates against real hardware.
 
-use lognic::model::latency::estimate_latency;
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 
 fn hw() -> HardwareModel {
     HardwareModel::new(Bandwidth::gbps(10_000.0), Bandwidth::gbps(10_000.0))

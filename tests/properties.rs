@@ -6,9 +6,8 @@
 //! of an opaque `*.proptest-regressions` corpus file, so they are
 //! visible in review and always run.
 
-use lognic::model::latency::estimate_latency;
-use lognic::model::prelude::*;
-use lognic::model::queueing::{Mm1n, MmcN};
+use lognic::model::queueing::MmcN;
+use lognic::prelude::*;
 use lognic_testkit::{ensure, CaseResult, Gen, Property};
 
 fn arb_chain(g: &mut Gen) -> ExecutionGraph {
@@ -259,7 +258,6 @@ fn acceleration_knob_never_hurts() {
 
 mod sim_properties {
     use super::*;
-    use lognic::sim::prelude::*;
 
     #[test]
     fn conservation_and_sanity() {

@@ -2,9 +2,7 @@
 //! determinism contract and the statistical behaviour the CI-based
 //! validation assertions rely on.
 
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::SimConfig;
+use lognic::prelude::*;
 
 fn hw() -> HardwareModel {
     HardwareModel::new(Bandwidth::gbps(10_000.0), Bandwidth::gbps(10_000.0))

@@ -19,9 +19,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lognic::model::prelude::*;
-use lognic::sim::prelude::*;
-use lognic::sim::sim::Engine;
+use lognic::prelude::*;
 
 struct CountingAlloc;
 
