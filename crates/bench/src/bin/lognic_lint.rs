@@ -23,7 +23,6 @@ use std::process::ExitCode;
 
 use lognic_devices::validate::all_profile_diagnostics;
 use lognic_model::analyze::{pass_names, AnalysisConfig, Code, Diagnostic, Severity};
-use lognic_model::units::{Bandwidth, Bytes};
 use lognic_workloads::broken::{all_broken, BrokenCase};
 use lognic_workloads::scenario::Scenario;
 
@@ -130,45 +129,22 @@ fn derated(scenario: Scenario) -> Scenario {
     }
 }
 
-/// The clean fixture set: one representative scenario per workload
-/// family, each derated to half its saturating rate.
+/// The clean fixture set: every workload in the shared scenario
+/// registry, each derated to half its saturating rate (fault plans
+/// ride along so the L06xx hygiene passes see them). New registry
+/// entries appear here automatically — and must therefore ship
+/// warning-free at the derated rate to survive the CI `--deny
+/// warnings` gate.
 fn clean_cases() -> Vec<BrokenCase> {
-    use lognic_devices::stingray::IoPattern;
-    use lognic_workloads::microservices::{self, AllocationScheme, App};
-    use lognic_workloads::nf_placement::{self, Placement};
-    use lognic_workloads::{compression, nvmeof, panic_scenarios, switch_kv};
-
-    let scenarios = vec![
-        derated(microservices::scenario(
-            App::NfvFin,
-            AllocationScheme::LogNicOpt,
-            1000.0,
-        )),
-        derated(nvmeof::nvmeof(IoPattern::RandRead4k, Bandwidth::gbps(1.0))),
-        derated(switch_kv::netcache(0.8, Bandwidth::gbps(1.0))),
-        derated(compression::compress(
-            0.5,
-            8,
-            Bytes::new(4096),
-            Bandwidth::gbps(1.0),
-        )),
-        derated(nf_placement::scenario(
-            Placement::arm_only(),
-            Bytes::new(1024),
-            Bandwidth::gbps(1.0),
-        )),
-        derated(panic_scenarios::pipelined_chain(
-            64,
-            &[1500],
-            Bandwidth::gbps(1.0),
-        )),
-    ];
-    scenarios
-        .into_iter()
-        .map(|scenario| BrokenCase {
-            scenario,
-            plan: None,
-            expect: &[],
+    lognic_workloads::registry::ALL
+        .iter()
+        .map(|entry| {
+            let (scenario, plan) = entry.build();
+            BrokenCase {
+                scenario: derated(scenario),
+                plan,
+                expect: &[],
+            }
         })
         .collect()
 }

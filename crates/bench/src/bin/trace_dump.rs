@@ -16,20 +16,22 @@
 //! ```text
 //! cargo run --release -p lognic-bench --bin trace_dump -- --out brownout.json
 //! cargo run --release -p lognic-bench --bin trace_dump -- --workload nvmeof --format csv
-//! trace_dump [--workload chaos|microservices|nvmeof] [--format chrome|csv|json|ring]
+//! trace_dump [--workload <registry name>] [--format chrome|csv|json|ring]
 //!            [--seed N] [--millis M] [--dt-us D] [--limit N] [--ring-kib N] [--out FILE]
 //! ```
+//!
+//! Workload names resolve through `lognic_workloads::registry`, so
+//! every registered scenario (the paper case studies and the protocol
+//! corpus alike) is exportable; `--workload help` lists them.
 //!
 //! The default workload is the accelerator-brownout chaos scenario —
 //! the most interesting trace: outage and brownout fault windows,
 //! retry storms and queue build-up are all visible on one screen.
 
-use lognic_model::units::{Bandwidth, Seconds};
+use lognic_model::units::Seconds;
 use lognic_sim::prelude::*;
 use lognic_sim::trace::NO_NODE;
-use lognic_workloads::chaos::accelerator_brownout;
-use lognic_workloads::microservices::{scenario as micro, AllocationScheme, App};
-use lognic_workloads::nvmeof::nvmeof;
+use lognic_workloads::registry;
 use lognic_workloads::scenario::Scenario;
 
 /// Default Chrome-trace packet-event budget: plenty for a brownout
@@ -50,9 +52,10 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace_dump [--workload chaos|microservices|nvmeof] \
+        "usage: trace_dump [--workload {}] \
          [--format chrome|csv|json|ring] [--seed N] [--millis M] \
-         [--dt-us D] [--limit N] [--ring-kib N] [--out FILE]"
+         [--dt-us D] [--limit N] [--ring-kib N] [--out FILE]",
+        registry::names().join("|")
     );
     std::process::exit(2);
 }
@@ -97,31 +100,14 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Resolves the named workload into `(scenario, fault plan)`.
+/// Resolves the named workload into `(scenario, fault plan)` via the
+/// shared scenario registry — new corpus entries are exportable here
+/// without touching this binary.
 fn workload(name: &str) -> (Scenario, Option<FaultPlan>) {
-    match name {
-        "chaos" => {
-            let chaos = accelerator_brownout(
-                Bandwidth::gbps(8.0),
-                Seconds::millis(4.0),
-                Seconds::millis(2.0),
-                Seconds::millis(3.0),
-            );
-            (chaos.scenario, Some(chaos.plan))
-        }
-        "microservices" => (
-            micro(App::NfvFin, AllocationScheme::RoundRobin, 2.0e6),
-            None,
-        ),
-        "nvmeof" => (
-            nvmeof(
-                lognic_devices::stingray::IoPattern::RandRead4k,
-                Bandwidth::gbps(5.0),
-            ),
-            None,
-        ),
-        other => {
-            eprintln!("trace_dump: unknown workload {other}");
+    match registry::find(name) {
+        Some(entry) => entry.build(),
+        None => {
+            eprintln!("trace_dump: unknown workload {name}");
             usage()
         }
     }

@@ -170,6 +170,18 @@ pub enum LogNicError {
         /// least one is at `Deny` level.
         diagnostics: Vec<crate::analyze::Diagnostic>,
     },
+    /// A recorded packet trace is malformed: truncated or mislabeled
+    /// binary framing, an unparsable CSV field, a zero-byte packet, or
+    /// arrival timestamps that run backwards. Trace ingest reports the
+    /// defect as a diagnostic instead of panicking so that corrupt
+    /// capture files surface like any other bad input.
+    InvalidTrace {
+        /// Explanation of the defect.
+        reason: String,
+        /// Index of the offending record, when the defect is local to
+        /// one record rather than the file framing.
+        record: Option<u64>,
+    },
     /// The simulation watchdog aborted a run that exceeded its event
     /// budget — the structured report replaces an apparent hang.
     WatchdogAbort {
@@ -230,6 +242,10 @@ impl fmt::Display for LogNicError {
                 }
                 Ok(())
             }
+            LogNicError::InvalidTrace { reason, record } => match record {
+                Some(idx) => write!(f, "invalid packet trace at record {idx}: {reason}"),
+                None => write!(f, "invalid packet trace: {reason}"),
+            },
             LogNicError::WatchdogAbort {
                 events,
                 sim_time,

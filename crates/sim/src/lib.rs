@@ -89,9 +89,12 @@ pub mod prelude {
     pub use crate::stats::{MetricSummary, Welford};
     pub use crate::time::SimTime;
     pub use crate::trace::{
-        ChromeTrace, DropReason, FaultWindowKind, NodeMeta, NoopObserver, RecordKind, RingLog,
-        RunMeta, Sample, SimObserver, TimeSeriesSampler, Timeline, TraceRecord,
+        ArrivalRecorder, ChromeTrace, DropReason, FaultWindowKind, NodeMeta, NoopObserver,
+        RecordKind, RingLog, RunMeta, Sample, SimObserver, TimeSeriesSampler, Timeline,
+        TraceRecord,
     };
-    pub use crate::traffic::{ArrivalProcess, Injection, Trace, TraceCursor, TrafficSource};
+    pub use crate::traffic::{
+        ArrivalProcess, Injection, PacketTrace, Trace, TraceCursor, TraceEntry, TrafficSource,
+    };
     pub use crate::wrr::{QueuePlan, QueueSpec};
 }

@@ -1074,6 +1074,75 @@ impl SimObserver for ChromeTrace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Arrival recorder — the corpus capture sink
+// ---------------------------------------------------------------------------
+
+/// An observer that records every injection as a corpus
+/// [`TraceEntry`], turning a live run into a replayable
+/// [`PacketTrace`] file. This closes the round-trip loop: a synthetic
+/// scenario's arrival stream is captured here, persisted via
+/// [`PacketTrace::to_binary`] or [`PacketTrace::to_csv`], and
+/// re-ingested as a regression input through
+/// [`SimulationBuilder::with_trace`].
+///
+/// The simulator keys behaviour on traffic class, so the recorded
+/// flow tag mirrors the class tag; external captures are free to carry
+/// finer flow structure.
+///
+/// [`PacketTrace`]: crate::traffic::PacketTrace
+/// [`TraceEntry`]: crate::traffic::TraceEntry
+/// [`SimulationBuilder::with_trace`]: crate::sim::SimulationBuilder::with_trace
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalRecorder {
+    entries: Vec<crate::traffic::TraceEntry>,
+}
+
+impl ArrivalRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injections recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before the first injection.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consumes the recorder into a validated [`PacketTrace`].
+    ///
+    /// The engine injects in time order with positive sizes, so
+    /// recorded arrivals always validate; the `Result` only surfaces
+    /// defects if the recorder was fed by hand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] for hand-built entries
+    /// that violate trace invariants.
+    ///
+    /// [`PacketTrace`]: crate::traffic::PacketTrace
+    /// [`LogNicError::InvalidTrace`]: lognic_model::error::LogNicError::InvalidTrace
+    pub fn into_trace(self) -> lognic_model::error::LogNicResult<crate::traffic::PacketTrace> {
+        crate::traffic::PacketTrace::new(self.entries)
+    }
+}
+
+impl SimObserver for ArrivalRecorder {
+    fn on_inject(&mut self, now: SimTime, _pkt: u64, size: u64, class: u32) {
+        self.entries.push(crate::traffic::TraceEntry::new(
+            now,
+            lognic_model::units::Bytes::new(size),
+            class,
+            class,
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,8 +7,9 @@
 
 use crate::rng::SimRng;
 use crate::time::SimTime;
-use lognic_model::params::TrafficProfile;
-use lognic_model::units::Bytes;
+use lognic_model::error::{LogNicError, LogNicResult};
+use lognic_model::params::{PacketSizeDist, TrafficProfile};
+use lognic_model::units::{Bandwidth, Bytes};
 
 /// The packet arrival process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -129,13 +130,39 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if the events are not sorted by time.
+    /// Panics if the events are not sorted by time. Use
+    /// [`Trace::try_from_events`] to surface the defect as a typed
+    /// error instead.
     pub fn from_events(events: Vec<(SimTime, Bytes, u32)>) -> Self {
         assert!(
             events.windows(2).all(|w| w[0].0 <= w[1].0),
             "trace events must be time-sorted"
         );
         Trace { events }
+    }
+
+    /// Builds a trace from absolute `(time, size, class)` events,
+    /// reporting unsorted timestamps as a typed error instead of
+    /// panicking — the ingest-facing constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] naming the first record
+    /// whose timestamp runs backwards.
+    pub fn try_from_events(events: Vec<(SimTime, Bytes, u32)>) -> LogNicResult<Self> {
+        for (i, w) in events.windows(2).enumerate() {
+            if w[0].0 > w[1].0 {
+                return Err(LogNicError::InvalidTrace {
+                    reason: format!(
+                        "arrival timestamps run backwards ({} ps after {} ps)",
+                        w[1].0.as_picos(),
+                        w[0].0.as_picos()
+                    ),
+                    record: Some(i as u64 + 1),
+                });
+            }
+        }
+        Ok(Trace { events })
     }
 
     /// Number of packets in the trace.
@@ -208,6 +235,419 @@ impl TraceCursor {
     /// Packets remaining.
     pub fn remaining(&self) -> usize {
         self.events.len() - self.idx
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packet-trace corpus files
+// ---------------------------------------------------------------------------
+
+/// One record of a packet-trace corpus file: an absolute arrival
+/// timestamp, the wire size, a flow tag and a traffic class.
+///
+/// The flow tag is opaque to the simulator (the engine keys behaviour
+/// on `class` alone) but survives the file round trip, so captures
+/// from multi-flow sources keep their per-flow structure for offline
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Absolute arrival time.
+    pub arrival: SimTime,
+    /// Wire size in bytes (must be positive).
+    pub size: Bytes,
+    /// Opaque flow identifier.
+    pub flow: u32,
+    /// Traffic class (drives WRR queue mapping and per-class reports).
+    pub class: u32,
+}
+
+impl TraceEntry {
+    /// Creates a record.
+    pub fn new(arrival: SimTime, size: Bytes, flow: u32, class: u32) -> Self {
+        TraceEntry {
+            arrival,
+            size,
+            flow,
+            class,
+        }
+    }
+}
+
+/// Size of one encoded [`TraceEntry`] in the binary framing.
+const RECORD_BYTES: usize = 20;
+
+/// A validated packet-trace corpus: the empirical counterpart of a
+/// synthetic [`TrafficProfile`]. Traces are recorded from live runs
+/// (via [`crate::trace::ArrivalRecorder`]) or written by external
+/// tools, persisted in a compact binary or CSV framing, and re-ingested
+/// through [`PacketTrace::to_sim_trace`] to drive a replayed
+/// simulation — or through [`PacketTrace::empirical_profile`] to feed
+/// the analytical model's size-mixture machinery.
+///
+/// Construction always validates: arrivals must be non-decreasing and
+/// sizes positive; defects are reported as typed
+/// [`LogNicError::InvalidTrace`] values, never panics — a corrupt
+/// capture file is user input, not a programming error.
+///
+/// # Binary framing
+///
+/// ```text
+/// magic "LNTR" (4 B) | version 0x01 (1 B) | record count (u64 LE)
+/// then per record (20 B each):
+///   arrival_ps (u64 LE) | size_bytes (u32 LE) | flow (u32 LE) | class (u32 LE)
+/// ```
+///
+/// # CSV framing
+///
+/// A header line `arrival_ps,size_bytes,flow,class` followed by one
+/// integer row per record; blank lines and `#` comments are ignored.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PacketTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl PacketTrace {
+    /// The binary framing's magic bytes.
+    pub const MAGIC: [u8; 4] = *b"LNTR";
+    /// The binary framing's current version byte.
+    pub const VERSION: u8 = 1;
+    /// The CSV header line.
+    pub const CSV_HEADER: &'static str = "arrival_ps,size_bytes,flow,class";
+
+    /// Builds a trace from records, validating order and sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] naming the first record
+    /// with a zero size or a timestamp behind its predecessor.
+    pub fn new(entries: Vec<TraceEntry>) -> LogNicResult<Self> {
+        let mut last = SimTime::ZERO;
+        for (i, e) in entries.iter().enumerate() {
+            if e.size.get() == 0 {
+                return Err(LogNicError::InvalidTrace {
+                    reason: "zero-byte packet".into(),
+                    record: Some(i as u64),
+                });
+            }
+            if i > 0 && e.arrival < last {
+                return Err(LogNicError::InvalidTrace {
+                    reason: format!(
+                        "arrival timestamps run backwards ({} ps after {} ps)",
+                        e.arrival.as_picos(),
+                        last.as_picos()
+                    ),
+                    record: Some(i as u64),
+                });
+            }
+            last = e.arrival;
+        }
+        Ok(PacketTrace { entries })
+    }
+
+    /// The validated records, in arrival order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes across the trace.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.size.get()).sum()
+    }
+
+    /// The trace's span (time of the last arrival).
+    pub fn span(&self) -> SimTime {
+        self.entries
+            .last()
+            .map(|e| e.arrival)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of distinct flow tags.
+    pub fn flow_count(&self) -> usize {
+        let mut flows: Vec<u32> = self.entries.iter().map(|e| e.flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+
+    /// Mean byte rate over the trace span, in bits per second (zero
+    /// for traces spanning no time).
+    pub fn mean_rate_bps(&self) -> f64 {
+        let span = self.span().as_secs();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / span
+    }
+
+    /// Encodes the trace in the compact binary framing.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13 + self.entries.len() * RECORD_BYTES);
+        out.extend_from_slice(&Self::MAGIC);
+        out.push(Self::VERSION);
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.arrival.as_picos().to_le_bytes());
+            out.extend_from_slice(&(e.size.get() as u32).to_le_bytes());
+            out.extend_from_slice(&e.flow.to_le_bytes());
+            out.extend_from_slice(&e.class.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a binary-framed trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] on a bad magic or
+    /// version, a truncated header or record section, trailing bytes,
+    /// or any record that fails [`PacketTrace::new`] validation.
+    pub fn from_binary(bytes: &[u8]) -> LogNicResult<Self> {
+        let framing = |reason: String| LogNicError::InvalidTrace {
+            reason,
+            record: None,
+        };
+        if bytes.len() < 13 {
+            return Err(framing(format!(
+                "truncated header: {} bytes, need at least 13",
+                bytes.len()
+            )));
+        }
+        if bytes[..4] != Self::MAGIC {
+            return Err(framing(format!(
+                "bad magic {:02x?}, expected \"LNTR\"",
+                &bytes[..4]
+            )));
+        }
+        if bytes[4] != Self::VERSION {
+            return Err(framing(format!(
+                "unsupported version {}, expected {}",
+                bytes[4],
+                Self::VERSION
+            )));
+        }
+        let count = u64::from_le_bytes(bytes[5..13].try_into().expect("8-byte slice"));
+        let body = &bytes[13..];
+        let expected = (count as usize)
+            .checked_mul(RECORD_BYTES)
+            .ok_or_else(|| framing(format!("record count {count} overflows the file size")))?;
+        if body.len() != expected {
+            return Err(framing(format!(
+                "truncated records: {} bytes for {count} records, expected {expected}",
+                body.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for rec in body.chunks_exact(RECORD_BYTES) {
+            let arrival = u64::from_le_bytes(rec[0..8].try_into().expect("8-byte slice"));
+            let size = u32::from_le_bytes(rec[8..12].try_into().expect("4-byte slice"));
+            let flow = u32::from_le_bytes(rec[12..16].try_into().expect("4-byte slice"));
+            let class = u32::from_le_bytes(rec[16..20].try_into().expect("4-byte slice"));
+            entries.push(TraceEntry::new(
+                SimTime::from_picos(arrival),
+                Bytes::new(size as u64),
+                flow,
+                class,
+            ));
+        }
+        PacketTrace::new(entries)
+    }
+
+    /// Renders the trace as CSV (header + one row per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(32 + self.entries.len() * 24);
+        out.push_str(Self::CSV_HEADER);
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                e.arrival.as_picos(),
+                e.size.get(),
+                e.flow,
+                e.class
+            ));
+        }
+        out
+    }
+
+    /// Parses a CSV-framed trace. The header line is required; blank
+    /// lines and lines starting with `#` are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] on a missing or wrong
+    /// header, a row with the wrong field count or an unparsable
+    /// integer, or any record that fails [`PacketTrace::new`]
+    /// validation.
+    pub fn from_csv(text: &str) -> LogNicResult<Self> {
+        let mut rows = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'));
+        match rows.next() {
+            Some(header) if header.trim() == Self::CSV_HEADER => {}
+            other => {
+                return Err(LogNicError::InvalidTrace {
+                    reason: format!(
+                        "missing CSV header `{}` (got {:?})",
+                        Self::CSV_HEADER,
+                        other.unwrap_or("<empty>")
+                    ),
+                    record: None,
+                })
+            }
+        }
+        let mut entries = Vec::new();
+        for (i, row) in rows.enumerate() {
+            let fields: Vec<&str> = row.trim().split(',').collect();
+            if fields.len() != 4 {
+                return Err(LogNicError::InvalidTrace {
+                    reason: format!("expected 4 fields, found {} in `{row}`", fields.len()),
+                    record: Some(i as u64),
+                });
+            }
+            let field = |idx: usize, name: &str| -> LogNicResult<u64> {
+                fields[idx]
+                    .trim()
+                    .parse()
+                    .map_err(|_| LogNicError::InvalidTrace {
+                        reason: format!("unparsable {name} `{}`", fields[idx].trim()),
+                        record: Some(i as u64),
+                    })
+            };
+            entries.push(TraceEntry::new(
+                SimTime::from_picos(field(0, "arrival_ps")?),
+                Bytes::new(field(1, "size_bytes")?),
+                field(2, "flow")? as u32,
+                field(3, "class")? as u32,
+            ));
+        }
+        PacketTrace::new(entries)
+    }
+
+    /// Re-ingests a Chrome `trace_event` export produced by
+    /// [`crate::trace::ChromeTrace`]: the `inject` instants carry the
+    /// full arrival stream (timestamps are rendered at picosecond
+    /// precision, so the recovery is lossless), which closes the loop
+    /// between the observability layer's output and the corpus
+    /// ingest path — an exported trace is a valid regression input.
+    ///
+    /// The simulator keys on traffic class, so the recovered flow tag
+    /// mirrors the class tag (as [`crate::trace::ArrivalRecorder`]
+    /// records it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] when an `inject` event
+    /// lacks a parsable `ts`, `size` or `class` field, or when the
+    /// recovered records fail [`PacketTrace::new`] validation.
+    pub fn from_chrome_trace(json: &str) -> LogNicResult<Self> {
+        fn json_number(line: &str, key: &str, record: u64) -> LogNicResult<String> {
+            let at = line.find(key).ok_or_else(|| LogNicError::InvalidTrace {
+                reason: format!("inject event lacks `{key}`"),
+                record: Some(record),
+            })?;
+            let rest = &line[at + key.len()..];
+            let end = rest
+                .find([',', '}'])
+                .ok_or_else(|| LogNicError::InvalidTrace {
+                    reason: format!("unterminated `{key}` value"),
+                    record: Some(record),
+                })?;
+            Ok(rest[..end].trim().to_owned())
+        }
+        fn parse_u64(text: &str, what: &str, record: u64) -> LogNicResult<u64> {
+            text.parse().map_err(|_| LogNicError::InvalidTrace {
+                reason: format!("unparsable {what} `{text}`"),
+                record: Some(record),
+            })
+        }
+        let mut entries = Vec::new();
+        for line in json.lines() {
+            if !line.contains("\"name\":\"inject\"") {
+                continue;
+            }
+            let record = entries.len() as u64;
+            // `ts` is microseconds with six fractional digits — i.e.
+            // picoseconds split at the decimal point.
+            let ts = json_number(line, "\"ts\":", record)?;
+            let arrival_ps = match ts.split_once('.') {
+                Some((whole, frac)) if frac.len() == 6 => {
+                    parse_u64(whole, "ts", record)? * 1_000_000
+                        + parse_u64(frac, "ts fraction", record)?
+                }
+                _ => {
+                    return Err(LogNicError::InvalidTrace {
+                        reason: format!("timestamp `{ts}` is not µs with 6 fraction digits"),
+                        record: Some(record),
+                    })
+                }
+            };
+            let size = parse_u64(&json_number(line, "\"size\":", record)?, "size", record)?;
+            let class =
+                parse_u64(&json_number(line, "\"class\":", record)?, "class", record)? as u32;
+            entries.push(TraceEntry::new(
+                SimTime::from_picos(arrival_ps),
+                Bytes::new(size),
+                class,
+                class,
+            ));
+        }
+        PacketTrace::new(entries)
+    }
+
+    /// Converts the corpus trace into the simulator's replay form
+    /// (flow tags are dropped — the engine keys on class alone).
+    pub fn to_sim_trace(&self) -> Trace {
+        Trace::from_events(
+            self.entries
+                .iter()
+                .map(|e| (e.arrival, e.size, e.class))
+                .collect(),
+        )
+    }
+
+    /// Derives an empirical [`TrafficProfile`] from the trace: the
+    /// observed size mixture (weighted by packet count) at the trace's
+    /// mean byte rate — the ingest path into the analytical model's
+    /// size-mixture machinery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogNicError::InvalidTrace`] for traces spanning no
+    /// time (fewer than two distinct arrival instants), whose mean
+    /// rate is undefined.
+    pub fn empirical_profile(&self) -> LogNicResult<TrafficProfile> {
+        let rate = self.mean_rate_bps();
+        if rate <= 0.0 {
+            return Err(LogNicError::InvalidTrace {
+                reason: "trace spans no time; its mean rate is undefined".into(),
+                record: None,
+            });
+        }
+        let mut counts: Vec<(u64, f64)> = Vec::new();
+        for e in &self.entries {
+            match counts.iter_mut().find(|(s, _)| *s == e.size.get()) {
+                Some((_, w)) => *w += 1.0,
+                None => counts.push((e.size.get(), 1.0)),
+            }
+        }
+        counts.sort_unstable_by_key(|(s, _)| *s);
+        let dist = PacketSizeDist::mix(counts.into_iter().map(|(s, w)| (Bytes::new(s), w)))
+            .map_err(|e| LogNicError::InvalidTrace {
+                reason: format!("size mixture rejected: {e}"),
+                record: None,
+            })?;
+        Ok(TrafficProfile::new(Bandwidth::bps(rate), dist))
     }
 }
 
@@ -343,5 +783,119 @@ mod tests {
         let src = TrafficSource::new(&t, ArrivalProcess::Poisson);
         assert!(src.is_silent());
         assert!(!TrafficSource::new(&profile(1.0, 64), ArrivalProcess::Poisson).is_silent());
+    }
+
+    fn sample_trace() -> PacketTrace {
+        PacketTrace::new(vec![
+            TraceEntry::new(SimTime::from_picos(0), Bytes::new(64), 1, 0),
+            TraceEntry::new(SimTime::from_picos(4_000), Bytes::new(1500), 2, 1),
+            TraceEntry::new(SimTime::from_picos(4_000), Bytes::new(64), 1, 0),
+            TraceEntry::new(SimTime::from_picos(9_500), Bytes::new(512), 3, 2),
+        ])
+        .expect("valid trace")
+    }
+
+    #[test]
+    fn packet_trace_binary_round_trips() {
+        let trace = sample_trace();
+        let bytes = trace.to_binary();
+        assert_eq!(&bytes[..4], b"LNTR");
+        let back = PacketTrace::from_binary(&bytes).expect("round trip");
+        assert_eq!(trace, back);
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.flow_count(), 3);
+        assert_eq!(back.total_bytes(), 64 + 1500 + 64 + 512);
+        assert_eq!(back.span(), SimTime::from_picos(9_500));
+    }
+
+    #[test]
+    fn packet_trace_csv_round_trips() {
+        let trace = sample_trace();
+        let csv = trace.to_csv();
+        assert!(csv.starts_with(PacketTrace::CSV_HEADER));
+        let back = PacketTrace::from_csv(&csv).expect("round trip");
+        assert_eq!(trace, back);
+        // Comments and blank lines are tolerated.
+        let commented = format!("# capture\n\n{csv}");
+        assert_eq!(PacketTrace::from_csv(&commented).expect("comments"), trace);
+    }
+
+    #[test]
+    fn packet_trace_rejects_malformed_input() {
+        let backwards = PacketTrace::new(vec![
+            TraceEntry::new(SimTime::from_picos(10), Bytes::new(64), 0, 0),
+            TraceEntry::new(SimTime::from_picos(5), Bytes::new(64), 0, 0),
+        ]);
+        assert!(matches!(
+            backwards,
+            Err(LogNicError::InvalidTrace {
+                record: Some(1),
+                ..
+            })
+        ));
+        let zero = PacketTrace::new(vec![TraceEntry::new(SimTime::ZERO, Bytes::new(0), 0, 0)]);
+        assert!(matches!(
+            zero,
+            Err(LogNicError::InvalidTrace {
+                record: Some(0),
+                ..
+            })
+        ));
+        // Truncated binary bodies and bad framing are typed errors.
+        let bytes = sample_trace().to_binary();
+        assert!(PacketTrace::from_binary(&bytes[..bytes.len() - 1]).is_err());
+        assert!(PacketTrace::from_binary(&bytes[..7]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(PacketTrace::from_binary(&bad_magic).is_err());
+        let mut bad_version = bytes;
+        bad_version[4] = 99;
+        assert!(PacketTrace::from_binary(&bad_version).is_err());
+        // CSV defects.
+        assert!(PacketTrace::from_csv("").is_err());
+        assert!(PacketTrace::from_csv("wrong,header\n1,2,3,4\n").is_err());
+        let rows = format!("{}\n1,2,3\n", PacketTrace::CSV_HEADER);
+        assert!(PacketTrace::from_csv(&rows).is_err());
+        let rows = format!("{}\n1,nope,3,4\n", PacketTrace::CSV_HEADER);
+        assert!(PacketTrace::from_csv(&rows).is_err());
+    }
+
+    #[test]
+    fn packet_trace_empty_is_valid_and_round_trips() {
+        let empty = PacketTrace::new(Vec::new()).expect("empty is valid");
+        assert!(empty.is_empty());
+        assert_eq!(empty.span(), SimTime::ZERO);
+        assert_eq!(empty.mean_rate_bps(), 0.0);
+        let back = PacketTrace::from_binary(&empty.to_binary()).expect("binary");
+        assert!(back.is_empty());
+        let back = PacketTrace::from_csv(&empty.to_csv()).expect("csv");
+        assert!(back.is_empty());
+        // But its mean rate is undefined, so no empirical profile.
+        assert!(empty.empirical_profile().is_err());
+    }
+
+    #[test]
+    fn packet_trace_feeds_sim_trace_and_profile() {
+        let trace = sample_trace();
+        let sim = trace.to_sim_trace();
+        assert_eq!(sim.len(), trace.len());
+        assert_eq!(sim.total_bytes(), trace.total_bytes());
+        let profile = trace.empirical_profile().expect("spanning trace");
+        // Mean rate: 2140 B over 9.5 ns.
+        let expected = 2140.0 * 8.0 / 9.5e-9;
+        assert!(
+            (profile.ingress_bandwidth().as_bps() - expected).abs() / expected < 1e-9,
+            "rate {}",
+            profile.ingress_bandwidth()
+        );
+        // Size mixture: three distinct sizes, 64 B carrying half the weight.
+        let entries = profile.sizes().entries();
+        assert_eq!(entries.len(), 3);
+        let w64 = entries
+            .iter()
+            .find(|(s, _)| s.get() == 64)
+            .map(|(_, w)| *w)
+            .expect("64 B bucket");
+        assert!((w64 - 0.5).abs() < 1e-12, "weight {w64}");
     }
 }

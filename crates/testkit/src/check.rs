@@ -40,7 +40,7 @@ pub struct Property {
 
 /// FNV-1a, used to give each property its own default seed stream so
 /// two properties with the same case count don't see identical inputs.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

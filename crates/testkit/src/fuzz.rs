@@ -1,0 +1,383 @@
+//! A shrink-capable fuzzing harness over structured values.
+//!
+//! [`Property`](crate::check::Property) replays failures by seed,
+//! which is perfect for cheap scalar cases but leaves the burden of
+//! *understanding* a failure on whoever replays it: a seed that builds
+//! a ten-node execution graph with four fault windows says nothing
+//! about which part matters. [`Fuzz`] closes that gap with
+//! shrink-on-failure: when a generated value fails, the harness
+//! greedily walks a caller-supplied shrink relation toward a local
+//! minimum that *still fails*, and reports that minimal
+//! counterexample alongside the original seed.
+//!
+//! The harness is generic over the generated type and knows nothing
+//! about the workspace's models — the scenario-specific generator and
+//! shrinker live in `lognic_workloads::corpus`. Like the rest of the
+//! testkit, everything is deterministic: the same name, seed and case
+//! budget always generate, check and shrink the same values.
+//!
+//! ```
+//! use lognic_testkit::fuzz::{Fuzz, FuzzOutcome};
+//!
+//! // "All u64 vectors sum below 300" — false, and the minimal
+//! // counterexample is a single element just over the bound.
+//! let report = Fuzz::new("sum_below_300").cases(64).run(
+//!     |g| g.vec(1..8, |g| g.u64(0..100)),
+//!     |v| {
+//!         let mut cands: Vec<Vec<u64>> = (0..v.len())
+//!             .map(|i| {
+//!                 let mut c = v.clone();
+//!                 c.remove(i);
+//!                 c
+//!             })
+//!             .collect();
+//!         cands.extend((0..v.len()).filter(|&i| v[i] > 0).map(|i| {
+//!             let mut c = v.clone();
+//!             c[i] /= 2;
+//!             c
+//!         }));
+//!         cands
+//!     },
+//!     |v| {
+//!         let sum: u64 = v.iter().sum();
+//!         if sum < 300 {
+//!             FuzzOutcome::Pass
+//!         } else {
+//!             FuzzOutcome::Fail(format!("sum {sum} >= 300"))
+//!         }
+//!     },
+//! );
+//! let cx = report.counterexample.expect("property is false");
+//! assert!(cx.minimal.iter().sum::<u64>() >= 300);
+//! ```
+
+use crate::check::fnv1a;
+use crate::gen::Gen;
+use crate::rng::splitmix64;
+
+/// The verdict a checker returns for one generated value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzOutcome {
+    /// The value satisfied the property.
+    Pass,
+    /// The value fell outside the property's domain (e.g. the static
+    /// analyzer rejected the generated scenario). Skipped values do
+    /// not count toward the checked-case budget; the harness generates
+    /// replacements until the budget is met or the attempt cap hits.
+    Skip(String),
+    /// The value violated the property.
+    Fail(String),
+}
+
+/// A failing value, shrunk to a local minimum that still fails.
+#[derive(Debug, Clone)]
+pub struct Counterexample<T> {
+    /// Index of the failing generated case (0-based, counting every
+    /// attempt including skips).
+    pub case: u32,
+    /// The case's generator seed — replays the *original* failure.
+    pub seed: u64,
+    /// The failure message of the originally generated value.
+    pub original_message: String,
+    /// The shrunk value: no candidate offered by the shrink relation
+    /// still fails (or the step cap was reached).
+    pub minimal: T,
+    /// The failure message of the minimal value.
+    pub message: String,
+    /// Accepted shrink steps between the original and the minimum.
+    pub shrink_steps: u32,
+}
+
+/// The result of a completed fuzz run.
+#[derive(Debug, Clone)]
+#[must_use = "a fuzz report carries the counterexample; check or assert it"]
+pub struct FuzzReport<T> {
+    /// The harness name the run was configured with.
+    pub name: String,
+    /// Values that passed the checker.
+    pub checked: u32,
+    /// Values skipped as out-of-domain.
+    pub skipped: u32,
+    /// Total generation attempts (checked + skipped + at most one
+    /// failure).
+    pub attempts: u32,
+    /// The first failure, shrunk — `None` when every value passed.
+    pub counterexample: Option<Counterexample<T>>,
+}
+
+impl<T> FuzzReport<T> {
+    /// True when no generated value failed the property.
+    pub fn is_ok(&self) -> bool {
+        self.counterexample.is_none()
+    }
+
+    /// Panics with the minimal counterexample when the run failed,
+    /// rendering the value with `render` (typically a JSON or Debug
+    /// serialization the reader can replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a counterexample exists, reporting the seed, the
+    /// original and minimal failure messages, the shrink distance and
+    /// the rendered minimal value.
+    pub fn assert_ok(&self, render: impl Fn(&T) -> String) {
+        if let Some(cx) = &self.counterexample {
+            panic!(
+                "fuzz '{}' failed on case #{} (seed {}): {}\n\
+                 after {} shrink step(s) the minimal counterexample fails with: {}\n\
+                 minimal counterexample:\n{}",
+                self.name,
+                cx.case,
+                cx.seed,
+                cx.original_message,
+                cx.shrink_steps,
+                cx.message,
+                render(&cx.minimal)
+            );
+        }
+    }
+}
+
+/// A named, seeded fuzzing schedule.
+///
+/// `cases` is a budget of *checked* values: skipped values trigger
+/// replacement generation (up to an attempt cap of 16× the budget) so
+/// that a noisy out-of-domain rate cannot silently erode coverage.
+#[derive(Debug, Clone)]
+pub struct Fuzz {
+    name: String,
+    cases: u32,
+    seed: u64,
+    max_shrink_steps: u32,
+}
+
+impl Fuzz {
+    /// Creates a harness: 32 checked cases from a seed derived from
+    /// the name, at most 256 accepted shrink steps per failure.
+    pub fn new(name: &str) -> Self {
+        Fuzz {
+            name: name.to_owned(),
+            cases: 32,
+            seed: fnv1a(name.as_bytes()),
+            max_shrink_steps: 256,
+        }
+    }
+
+    /// Sets the checked-case budget.
+    pub fn cases(mut self, cases: u32) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed (the default derives from the name).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of accepted shrink steps per failure.
+    pub fn max_shrink_steps(mut self, steps: u32) -> Self {
+        self.max_shrink_steps = steps;
+        self
+    }
+
+    /// Runs the schedule: generate, check, and on the first failure
+    /// shrink greedily — at each step the first failing candidate the
+    /// shrink relation offers is adopted, until no candidate fails or
+    /// the step cap is reached. Returns after the first (shrunk)
+    /// failure; later cases are not attempted.
+    pub fn run<T>(
+        &self,
+        generate: impl Fn(&mut Gen) -> T,
+        shrink: impl Fn(&T) -> Vec<T>,
+        check: impl Fn(&T) -> FuzzOutcome,
+    ) -> FuzzReport<T> {
+        let mut checked = 0u32;
+        let mut skipped = 0u32;
+        let mut attempts = 0u32;
+        let attempt_cap = self.cases.saturating_mul(16).max(self.cases);
+        let mut sm = self.seed;
+        while checked < self.cases && attempts < attempt_cap {
+            let case = attempts;
+            let case_seed = splitmix64(&mut sm);
+            attempts += 1;
+            let value = generate(&mut Gen::new(case_seed));
+            match check(&value) {
+                FuzzOutcome::Pass => checked += 1,
+                FuzzOutcome::Skip(_) => skipped += 1,
+                FuzzOutcome::Fail(original_message) => {
+                    let (minimal, message, shrink_steps) =
+                        self.shrink_failure(value, original_message.clone(), &shrink, &check);
+                    return FuzzReport {
+                        name: self.name.clone(),
+                        checked,
+                        skipped,
+                        attempts,
+                        counterexample: Some(Counterexample {
+                            case,
+                            seed: case_seed,
+                            original_message,
+                            minimal,
+                            message,
+                            shrink_steps,
+                        }),
+                    };
+                }
+            }
+        }
+        FuzzReport {
+            name: self.name.clone(),
+            checked,
+            skipped,
+            attempts,
+            counterexample: None,
+        }
+    }
+
+    /// Greedy descent: adopt the first still-failing shrink candidate,
+    /// repeat from there.
+    fn shrink_failure<T>(
+        &self,
+        mut current: T,
+        mut message: String,
+        shrink: &impl Fn(&T) -> Vec<T>,
+        check: &impl Fn(&T) -> FuzzOutcome,
+    ) -> (T, String, u32) {
+        let mut steps = 0u32;
+        while steps < self.max_shrink_steps {
+            let mut advanced = false;
+            for candidate in shrink(&current) {
+                if let FuzzOutcome::Fail(m) = check(&candidate) {
+                    current = candidate;
+                    message = m;
+                    steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        (current, message, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_shrink(_: &u64) -> Vec<u64> {
+        Vec::new()
+    }
+
+    #[test]
+    fn passing_property_checks_full_budget() {
+        let report = Fuzz::new("always_pass").cases(16).run(
+            |g| g.u64(0..100),
+            no_shrink,
+            |_| FuzzOutcome::Pass,
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.checked, 16);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(report.attempts, 16);
+        report.assert_ok(|v| v.to_string());
+    }
+
+    #[test]
+    fn skips_are_replaced_until_budget_met() {
+        // Half the domain is skipped; the harness still checks the
+        // full budget by generating replacements.
+        let report = Fuzz::new("skip_half").cases(16).run(
+            |g| g.u64(0..100),
+            no_shrink,
+            |v| {
+                if v % 2 == 0 {
+                    FuzzOutcome::Skip("even".into())
+                } else {
+                    FuzzOutcome::Pass
+                }
+            },
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.checked, 16);
+        assert!(report.skipped > 0);
+        assert_eq!(report.attempts, report.checked + report.skipped);
+    }
+
+    #[test]
+    fn attempt_cap_bounds_pathological_skip_rates() {
+        let report = Fuzz::new("skip_all").cases(8).run(
+            |g| g.u64(0..100),
+            no_shrink,
+            |_| FuzzOutcome::Skip("out of domain".into()),
+        );
+        assert!(report.is_ok());
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.attempts, 8 * 16);
+    }
+
+    #[test]
+    fn failure_shrinks_to_local_minimum() {
+        // "All values are < 50": minimal counterexample is exactly 50
+        // under a decrement-by-halving shrink relation.
+        let report = Fuzz::new("below_fifty").cases(64).run(
+            |g| g.u64(0..1000),
+            |&v| {
+                let mut c = Vec::new();
+                if v > 0 {
+                    c.push(v / 2);
+                    c.push(v - 1);
+                }
+                c
+            },
+            |&v| {
+                if v < 50 {
+                    FuzzOutcome::Pass
+                } else {
+                    FuzzOutcome::Fail(format!("{v} >= 50"))
+                }
+            },
+        );
+        let cx = report.counterexample.as_ref().expect("property is false");
+        assert_eq!(cx.minimal, 50, "greedy shrink should land on the boundary");
+        assert!(cx.shrink_steps > 0);
+        assert!(cx.message.contains("50"));
+    }
+
+    #[test]
+    fn shrink_step_cap_is_respected() {
+        let report = Fuzz::new("capped").cases(4).max_shrink_steps(3).run(
+            |g| g.u64(500..1000),
+            |&v| if v > 0 { vec![v - 1] } else { vec![] },
+            |&v| FuzzOutcome::Fail(format!("{v}")),
+        );
+        let cx = report.counterexample.expect("always fails");
+        assert_eq!(cx.shrink_steps, 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            Fuzz::new("det")
+                .cases(8)
+                .run(|g| g.u64(0..1_000_000), no_shrink, |_| FuzzOutcome::Pass)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.checked, b.checked);
+        assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal counterexample")]
+    fn assert_ok_panics_with_rendered_minimum() {
+        let report = Fuzz::new("always_fail").cases(1).run(
+            |g| g.u64(0..10),
+            no_shrink,
+            |_| FuzzOutcome::Fail("nope".into()),
+        );
+        report.assert_ok(|v| format!("value = {v}"));
+    }
+}

@@ -23,10 +23,12 @@
 
 pub mod bench;
 pub mod check;
+pub mod fuzz;
 pub mod gen;
 pub mod rng;
 
 pub use bench::{Bench, Measurement};
 pub use check::{CaseResult, Property};
+pub use fuzz::{Counterexample, Fuzz, FuzzOutcome, FuzzReport};
 pub use gen::Gen;
 pub use rng::Xoshiro256pp;

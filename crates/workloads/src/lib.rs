@@ -19,18 +19,25 @@
 //!   RMT switch running a NetCache-style in-network KV cache;
 //! * [`chaos`] — the robustness counterpart: the inline-acceleration
 //!   pipeline under an accelerator brownout with retry/backoff
-//!   recovery, driving the chaos-sweep experiment.
+//!   recovery, driving the chaos-sweep experiment;
+//! * [`corpus`] — the protocol workload corpus (TLS handshake, DNS/KV,
+//!   storage RPC, HTTP/2 multiplexing) plus the seeded random-scenario
+//!   generator and differential oracle ([`corpus::gen`]);
+//! * [`registry`] — the single scenario registry every CLI fixture
+//!   set (trace_dump, lognic-lint) resolves through.
 
 #![warn(missing_docs)]
 
 pub mod broken;
 pub mod chaos;
 pub mod compression;
+pub mod corpus;
 pub mod inline_accel;
 pub mod microservices;
 pub mod nf_placement;
 pub mod nvmeof;
 pub mod panic_scenarios;
+pub mod registry;
 pub mod scenario;
 pub mod switch_kv;
 
@@ -42,5 +49,7 @@ pub mod prelude {
     pub use lognic_sim::prelude::*;
 
     pub use crate::chaos::{accelerator_brownout, duty_cycle_sweep, ChaosPoint, ChaosScenario};
+    pub use crate::corpus::gen::{differential_check, fuzz_config, ScenarioSpec};
+    pub use crate::registry::{self, RegistryEntry};
     pub use crate::scenario::{Comparison, Scenario};
 }

@@ -256,6 +256,117 @@ fn acceleration_knob_never_hurts() {
         });
 }
 
+mod differential_fuzz {
+    use lognic::prelude::*;
+    use lognic::workloads::corpus::gen::{differential_check, fuzz_config, ScenarioSpec};
+    use lognic_testkit::{Fuzz, FuzzOutcome};
+
+    /// The tentpole property, run at the CI budget: 32 seeded random
+    /// scenarios through analyzer → both engines → model. Every
+    /// analyzer-clean case must simulate without a watchdog abort on
+    /// BOTH engines, the calendar and reference-heap reports must be
+    /// byte-identical, and the model's delivered throughput must land
+    /// inside the replicated simulation's 95 % confidence interval.
+    /// On failure the harness shrinks to a minimal counterexample and
+    /// panics with its JSON spec.
+    #[test]
+    fn seeded_scenarios_agree_across_engines_and_with_the_model() {
+        let report = Fuzz::new("properties::differential_scenario_fuzz")
+            .cases(32)
+            .run(
+                ScenarioSpec::arbitrary,
+                ScenarioSpec::shrink,
+                differential_check,
+            );
+        assert!(
+            report.checked >= 32,
+            "only {} of 32 analyzer-clean scenarios ({} attempts, {} skipped): \
+             the generator's clean rate regressed",
+            report.checked,
+            report.attempts,
+            report.skipped
+        );
+        report.assert_ok(ScenarioSpec::to_json);
+    }
+
+    /// Analyzer-clean ⇒ no watchdog abort, stated directly (not via
+    /// the bundled differential check): for seeded specs that the
+    /// static analyzer passes, both engines finish their run — a
+    /// `WatchdogAbort` here means the lint passes under-approximate
+    /// the unstable region.
+    #[test]
+    fn analyzer_clean_scenarios_never_trip_the_watchdog() {
+        Fuzz::new("properties::analyzer_clean_no_watchdog")
+            .cases(16)
+            .run(ScenarioSpec::arbitrary, ScenarioSpec::shrink, |spec| {
+                let scenario = spec.realize();
+                let analysis = scenario.estimator().analyze(&AnalysisConfig::default());
+                if !analysis.is_clean() {
+                    return FuzzOutcome::Skip("analyzer flagged".to_owned());
+                }
+                for engine in [Engine::Calendar, Engine::ReferenceHeap] {
+                    let run =
+                        Simulation::builder(&scenario.graph, &scenario.hardware, &scenario.traffic)
+                            .config(fuzz_config(spec.seed, engine))
+                            .run();
+                    match run {
+                        Ok(_) => {}
+                        Err(LogNicError::WatchdogAbort { .. }) => {
+                            return FuzzOutcome::Fail(format!(
+                                "{engine:?}: watchdog abort on an analyzer-clean scenario"
+                            ));
+                        }
+                        Err(e) => {
+                            return FuzzOutcome::Fail(format!("{engine:?}: {e}"));
+                        }
+                    }
+                }
+                FuzzOutcome::Pass
+            })
+            .assert_ok(ScenarioSpec::to_json);
+    }
+
+    /// Calendar vs. reference-heap byte-identity on the raw seeded
+    /// graphs, independent of analyzer verdicts: even scenarios the
+    /// analyzer flags must diverge *identically* on both engines
+    /// (same report or same typed error).
+    #[test]
+    fn engines_agree_even_on_flagged_scenarios() {
+        Fuzz::new("properties::engines_agree_on_flagged")
+            .cases(16)
+            .run(ScenarioSpec::arbitrary, ScenarioSpec::shrink, |spec| {
+                let scenario = spec.realize();
+                let run = |engine| {
+                    Simulation::builder(&scenario.graph, &scenario.hardware, &scenario.traffic)
+                        .config(fuzz_config(spec.seed, engine))
+                        .run()
+                };
+                match (run(Engine::Calendar), run(Engine::ReferenceHeap)) {
+                    (Ok(w), Ok(h)) => {
+                        if w != h || format!("{w:?}") != format!("{h:?}") {
+                            FuzzOutcome::Fail("engine reports diverged".to_owned())
+                        } else {
+                            FuzzOutcome::Pass
+                        }
+                    }
+                    (Err(we), Err(he)) => {
+                        if format!("{we:?}") == format!("{he:?}") {
+                            FuzzOutcome::Pass
+                        } else {
+                            FuzzOutcome::Fail(format!(
+                                "engines failed differently: {we:?} vs {he:?}"
+                            ))
+                        }
+                    }
+                    (w, h) => FuzzOutcome::Fail(format!(
+                        "one engine failed, the other ran: {w:?} vs {h:?}"
+                    )),
+                }
+            })
+            .assert_ok(ScenarioSpec::to_json);
+    }
+}
+
 mod sim_properties {
     use super::*;
 
