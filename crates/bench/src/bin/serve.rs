@@ -1,0 +1,41 @@
+//! `lognic-serve`: the standalone service binary.
+//!
+//! Reads one JSON request per line on stdin, writes one JSON
+//! response per line on stdout, and never exits on a bad request —
+//! only on end-of-input (exit 0) or a usage error (exit 2). The
+//! `lognic serve` subcommand is the same loop behind the main CLI.
+
+use std::io::{BufReader, BufWriter, Write};
+
+use lognic_service::{serve, ServeOptions, Service};
+
+fn main() {
+    let options = match ServeOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut service = Service::new(options.config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = BufReader::new(stdin.lock());
+    let mut output = BufWriter::new(stdout.lock());
+    match serve(&mut service, &mut input, &mut output) {
+        Ok(summary) => {
+            let _ = output.flush();
+            eprintln!(
+                "lognic-serve: {} responses ({} shed, {} failed, {} isolated panics)",
+                summary.responses,
+                service.stats().shed,
+                service.stats().failed,
+                service.stats().isolated_panics
+            );
+        }
+        Err(e) => {
+            eprintln!("lognic-serve: I/O error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

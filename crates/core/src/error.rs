@@ -182,6 +182,19 @@ pub enum LogNicError {
         /// one record rather than the file framing.
         record: Option<u64>,
     },
+    /// A multi-seed replication partially failed: some replicas
+    /// completed and some aborted (typically on the event-budget
+    /// watchdog). The report names every seed on both sides — in seed
+    /// order, independent of the thread schedule — so a capacity
+    /// query can tell "one pathological seed" from "the scenario
+    /// never terminates".
+    ReplicationPartial {
+        /// Seeds whose replicas completed, in aggregation order.
+        completed: Vec<u64>,
+        /// `(seed, error)` for every failed replica, in aggregation
+        /// order.
+        failed: Vec<(u64, Box<LogNicError>)>,
+    },
     /// The simulation watchdog aborted a run that exceeded its event
     /// budget — the structured report replaces an apparent hang.
     WatchdogAbort {
@@ -246,6 +259,18 @@ impl fmt::Display for LogNicError {
                 Some(idx) => write!(f, "invalid packet trace at record {idx}: {reason}"),
                 None => write!(f, "invalid packet trace: {reason}"),
             },
+            LogNicError::ReplicationPartial { completed, failed } => {
+                write!(
+                    f,
+                    "replication partially failed: {} of {} seeds aborted;",
+                    failed.len(),
+                    completed.len() + failed.len()
+                )?;
+                for (seed, err) in failed {
+                    write!(f, " seed {seed}: {err};")?;
+                }
+                Ok(())
+            }
             LogNicError::WatchdogAbort {
                 events,
                 sim_time,

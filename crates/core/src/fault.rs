@@ -238,11 +238,39 @@ impl RetryPolicy {
         self.max_backoff
     }
 
+    /// The absolute ceiling [`RetryPolicy::backoff_for`] saturates
+    /// at regardless of the configured [`RetryPolicy::max_backoff`]:
+    /// 10⁶ seconds. The simulator clocks time in `u64` picoseconds
+    /// (max ≈ 1.8 × 10⁷ s), so an unconstrained `base · mⁿ` at high
+    /// attempt counts would overflow the clock — or reach `∞`
+    /// outright once `powi` leaves `f64` range — and panic the
+    /// scheduler. 10⁶ s is far beyond any plausible horizon while
+    /// leaving headroom for time addition.
+    pub fn saturation_ceiling() -> Seconds {
+        Seconds::new(1.0e6)
+    }
+
     /// The backoff before retry number `attempt` (0-based): `base ·
-    /// multiplier^attempt`, capped at the ceiling.
+    /// multiplier^attempt`, capped at the policy ceiling and
+    /// saturating at [`RetryPolicy::saturation_ceiling`].
+    ///
+    /// Saturation is what makes high attempt counts safe: for
+    /// `multiplier ≥ 2` the exponential passes the ceiling within a
+    /// few dozen attempts, and without the clamp the product would
+    /// overflow the simulator's integer picosecond clock (a panic,
+    /// not an error) long before `u32::MAX` attempts.
     pub fn backoff_for(&self, attempt: u32) -> Seconds {
-        let factor = self.multiplier.powi(attempt.min(64) as i32);
-        self.base_backoff.scaled(factor).min(self.max_backoff)
+        let ceiling = self.max_backoff.min(RetryPolicy::saturation_ceiling());
+        // powi overflows f64 to ∞ near attempt ≈ 1024/log₂(m); clamp
+        // the exponent first so the product is NaN-free, then the
+        // result. A non-finite product (0 · ∞) also saturates.
+        let factor = self.multiplier.powi(attempt.min(1024) as i32);
+        let raw = self.base_backoff.scaled(factor.min(f64::MAX));
+        if raw.as_secs().is_finite() {
+            raw.min(ceiling)
+        } else {
+            ceiling
+        }
     }
 
     /// Expected number of attempts per packet when each attempt
@@ -640,6 +668,39 @@ mod tests {
         assert!((p.corruption_probability("a", h) - 0.2).abs() < 1e-12);
         assert!((p.mean_credit_loss("b", h) - 4.0).abs() < 1e-12);
         assert!((p.path_corruption_probability(&graph(), h) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts_instead_of_overflowing() {
+        // A hostile policy: maximal budget, aggressive growth, an
+        // unbounded ceiling. Without the saturation guard the
+        // attempt-64 product already exceeds what fits in the
+        // simulator's u64 picosecond clock.
+        let rp = RetryPolicy::new(u32::MAX, Seconds::micros(1.0))
+            .with_multiplier(10.0)
+            .with_max_backoff(Seconds::INFINITY);
+        for attempt in [64, 100, 1024, 1_000_000, u32::MAX] {
+            let b = rp.backoff_for(attempt);
+            assert!(b.as_secs().is_finite(), "attempt {attempt}: {b}");
+            assert!(
+                b <= RetryPolicy::saturation_ceiling(),
+                "attempt {attempt}: {b}"
+            );
+            assert!(
+                b.as_secs() * 1e12 <= u64::MAX as f64,
+                "attempt {attempt} must stay on the picosecond clock"
+            );
+        }
+        // Once saturated, the schedule is flat at the ceiling.
+        assert_eq!(rp.backoff_for(64), rp.backoff_for(u32::MAX));
+        assert_eq!(rp.backoff_for(64), RetryPolicy::saturation_ceiling());
+        // An in-range policy is untouched by the guard.
+        let tame = RetryPolicy::new(5, Seconds::micros(1.0));
+        assert_eq!(tame.backoff_for(3), Seconds::micros(8.0));
+        // A finite policy ceiling below the absolute one still wins.
+        let capped =
+            RetryPolicy::new(90, Seconds::micros(1.0)).with_max_backoff(Seconds::micros(64.0));
+        assert_eq!(capped.backoff_for(64), Seconds::micros(64.0));
     }
 
     #[test]

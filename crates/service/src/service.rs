@@ -1,0 +1,835 @@
+//! The hardened request loop: admission control, deadlines, load
+//! shedding, fault isolation, and the JSON-lines protocol itself.
+//!
+//! # Determinism
+//!
+//! Every response is a pure function of the request stream. The three
+//! places a naive service would consult the wall clock — deadline
+//! enforcement, overload detection, and latency statistics — all run
+//! on the deterministic cost model instead (see
+//! [`Request::cost`]): deadlines are checked at admission against
+//! predicted logical demand, the [`LoadGauge`] tracks logical
+//! occupancy, and under [`ServeConfig::deterministic`] the `stats`
+//! clock is the logical clock. Requests are processed strictly in
+//! arrival order; `threads` only parallelizes *inside* a replicated
+//! simulation, whose aggregation is already seed-ordered. The result:
+//! byte-identical transcripts across runs and across thread counts,
+//! which is what the golden tests pin.
+
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lognic_model::analyze::{AnalysisConfig, Analyzer, Severity};
+use lognic_model::error::LogNicError;
+use lognic_model::estimate::Estimate;
+use lognic_model::fault::FaultPlan;
+use lognic_model::sweep::{knee_of, rate_sweep};
+use lognic_model::units::{Bandwidth, Seconds};
+use lognic_sim::replicate::Replication;
+use lognic_sim::sim::SimConfig;
+use lognic_sim::stats::MetricSummary;
+use lognic_workloads::registry;
+use lognic_workloads::scenario::Scenario;
+
+use crate::error::{render_error_response, ServiceError};
+use crate::json::{escape, parse, render_number};
+use crate::request::{Request, RequestKind};
+use crate::shed::LoadGauge;
+use crate::stats::ServiceStats;
+
+/// Tunables for one service process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Logical-occupancy mark past which requests are shed.
+    pub high_water: u64,
+    /// Logical work drained at every arrival (completed service).
+    pub drain_per_request: u64,
+    /// Longest accepted request line, bytes; longer lines are
+    /// answered with a `parse_error` and skipped without buffering.
+    pub max_line_bytes: usize,
+    /// Most points one sweep may request.
+    pub max_sweep_points: usize,
+    /// Most replicas one simulate may request.
+    pub max_seeds: u32,
+    /// Longest simulated horizon one simulate may request, ms.
+    pub max_sim_ms: f64,
+    /// Hard per-request event budget for the simulation watchdog.
+    pub max_events_per_request: u64,
+    /// Deadline-to-event-budget conversion: a request with a
+    /// `deadline_ms` gets its event budget capped at `deadline_ms ×`
+    /// this, so a pathological simulation trips the watchdog
+    /// deterministically instead of outliving its deadline.
+    pub events_per_deadline_ms: u64,
+    /// Worker threads inside replicated simulations (0 = available
+    /// parallelism). Has no effect on responses.
+    pub threads: usize,
+    /// Report logical time instead of wall time in `health`/`stats`
+    /// responses, making transcripts byte-reproducible.
+    pub deterministic: bool,
+    /// Enable the `debug_panic` request kind (isolation-boundary
+    /// testing only).
+    pub allow_debug_panic: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            high_water: 64,
+            drain_per_request: 4,
+            max_line_bytes: 64 * 1024,
+            max_sweep_points: 64,
+            max_seeds: 16,
+            max_sim_ms: 200.0,
+            max_events_per_request: 5_000_000,
+            events_per_deadline_ms: 50_000,
+            threads: 1,
+            deterministic: false,
+            allow_debug_panic: false,
+        }
+    }
+}
+
+/// One registered, pre-built graph the service can evaluate.
+struct GraphEntry {
+    name: String,
+    scenario: Scenario,
+    plan: Option<FaultPlan>,
+}
+
+/// The capacity-planning service: a registry of named graphs plus
+/// the robustness envelope around their evaluation.
+pub struct Service {
+    config: ServeConfig,
+    graphs: Vec<GraphEntry>,
+    gauge: LoadGauge,
+    stats: ServiceStats,
+    started: std::time::Instant,
+}
+
+impl Service {
+    /// A service over the full workload registry
+    /// ([`lognic_workloads::registry::ALL`]).
+    pub fn new(config: ServeConfig) -> Self {
+        let graphs = registry::ALL
+            .iter()
+            .map(|e| {
+                let (scenario, plan) = e.build();
+                GraphEntry {
+                    name: e.name.to_owned(),
+                    scenario,
+                    plan,
+                }
+            })
+            .collect();
+        Service::with_graphs(config, graphs)
+    }
+
+    /// A service over an explicit `(name, scenario, plan)` catalog.
+    pub fn with_scenarios(
+        config: ServeConfig,
+        catalog: Vec<(String, Scenario, Option<FaultPlan>)>,
+    ) -> Self {
+        let graphs = catalog
+            .into_iter()
+            .map(|(name, scenario, plan)| GraphEntry {
+                name,
+                scenario,
+                plan,
+            })
+            .collect();
+        Service::with_graphs(config, graphs)
+    }
+
+    fn with_graphs(config: ServeConfig, graphs: Vec<GraphEntry>) -> Self {
+        let gauge = LoadGauge::new(config.high_water, config.drain_per_request);
+        Service {
+            config,
+            graphs,
+            gauge,
+            stats: ServiceStats::new(),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// The service's counters so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Registered graph names, in catalog order.
+    pub fn graph_names(&self) -> Vec<&str> {
+        self.graphs.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    /// Answers one request line with exactly one response line
+    /// (without the trailing newline). Never panics: anything that
+    /// escapes evaluation is contained and answered as an
+    /// `internal` error.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.stats.received += 1;
+        let wall = std::time::Instant::now();
+        let doc = match parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                self.stats.failed += 1;
+                return render_error_response(
+                    None,
+                    &ServiceError::Parse {
+                        reason: e.to_string(),
+                    },
+                );
+            }
+        };
+        let req = match Request::decode(&doc) {
+            Ok(req) => req,
+            Err(e) => {
+                self.stats.failed += 1;
+                return render_error_response(crate::request::salvage_id(&doc).as_ref(), &e);
+            }
+        };
+        let id = req.id.clone();
+        let cost = req.cost();
+        let response = match self.dispatch(req) {
+            Ok(body) => {
+                self.stats.served += 1;
+                self.stats.logical_ms += cost;
+                let mut out = String::with_capacity(body.len() + 32);
+                out.push('{');
+                if let Some(id) = &id {
+                    out.push_str("\"id\":");
+                    id.render(&mut out);
+                    out.push(',');
+                }
+                out.push_str("\"ok\":true,");
+                out.push_str(&body);
+                out.push('}');
+                out
+            }
+            Err(e) => {
+                if e.is_shed() {
+                    self.stats.shed += 1;
+                } else {
+                    self.stats.failed += 1;
+                }
+                render_error_response(id.as_ref(), &e)
+            }
+        };
+        let sample_ms = if self.config.deterministic {
+            cost as f64
+        } else {
+            wall.elapsed().as_secs_f64() * 1e3
+        };
+        self.stats.record_latency_ms(sample_ms);
+        response
+    }
+
+    /// Admission control plus evaluation for one decoded request.
+    fn dispatch(&mut self, req: Request) -> Result<String, ServiceError> {
+        self.enforce_limits(&req)?;
+        let cost = req.cost();
+        if let Some(deadline_ms) = req.deadline_ms {
+            let predicted_ms = cost as f64;
+            if deadline_ms < predicted_ms {
+                return Err(ServiceError::DeadlineExceeded {
+                    deadline_ms,
+                    predicted_ms,
+                });
+            }
+        }
+        self.gauge.admit(cost)?;
+        match req.kind {
+            RequestKind::Health => return Ok(self.render_health()),
+            RequestKind::Stats => return Ok(self.render_stats()),
+            RequestKind::DebugPanic if !self.config.allow_debug_panic => {
+                return Err(ServiceError::InvalidRequest {
+                    reason: "debug_panic is disabled (start with --allow-debug-panic)".into(),
+                });
+            }
+            _ => {}
+        }
+        // Everything past this point runs behind the isolation
+        // boundary: a panic in model or simulator code is contained
+        // and answered, and the loop keeps serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.evaluate(&req)));
+        match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                self.stats.isolated_panics += 1;
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(ServiceError::Internal { message })
+            }
+        }
+    }
+
+    /// Static resource caps, checked before any capacity is charged.
+    fn enforce_limits(&self, req: &Request) -> Result<(), ServiceError> {
+        if req.fractions.len() > self.config.max_sweep_points {
+            return Err(ServiceError::OversizedSweep {
+                points: req.fractions.len(),
+                limit: self.config.max_sweep_points,
+            });
+        }
+        if req.kind == RequestKind::Simulate {
+            if req.seeds > self.config.max_seeds {
+                return Err(ServiceError::InvalidParameter {
+                    parameter: "seeds".into(),
+                    reason: format!(
+                        "{} exceeds the {}-replica limit",
+                        req.seeds, self.config.max_seeds
+                    ),
+                });
+            }
+            if req.duration_ms > self.config.max_sim_ms {
+                return Err(ServiceError::InvalidParameter {
+                    parameter: "duration_ms".into(),
+                    reason: format!(
+                        "{} exceeds the {}ms horizon limit",
+                        req.duration_ms, self.config.max_sim_ms
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates an admitted request. Runs inside the isolation
+    /// boundary.
+    fn evaluate(&self, req: &Request) -> Result<String, ServiceError> {
+        if req.kind == RequestKind::DebugPanic {
+            panic!("debug_panic requested");
+        }
+        let graph = req.graph.as_deref().unwrap_or_default();
+        let entry = self
+            .graphs
+            .iter()
+            .find(|g| g.name == graph)
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                graph: graph.to_owned(),
+            })?;
+        let scenario = match req.rate_gbps {
+            Some(r) => entry.scenario.at_rate(Bandwidth::gbps(r)),
+            None => entry.scenario.clone(),
+        };
+        let analysis_config = AnalysisConfig::new().deny_warnings(req.deny_warnings);
+        let report = Analyzer::new(&scenario.graph)
+            .with_hardware(&scenario.hardware)
+            .with_traffic(&scenario.traffic)
+            .run(&analysis_config);
+        if req.kind == RequestKind::Analyze {
+            return Ok(render_analysis(&report));
+        }
+        // The admission gate proper: any Deny-level finding refuses
+        // the request before model math or simulation runs.
+        if report.is_rejected() {
+            return Err(ServiceError::Evaluation(LogNicError::AnalysisRejected {
+                diagnostics: report.diagnostics().to_vec(),
+            }));
+        }
+        match req.kind {
+            RequestKind::Estimate => {
+                let est = scenario.estimator().request().evaluate()?;
+                Ok(render_estimate("estimate", &entry.name, &est))
+            }
+            RequestKind::EstimateDegraded => {
+                let inline = req.fault_plan();
+                let plan = inline.as_ref().or(entry.plan.as_ref()).ok_or_else(|| {
+                    ServiceError::InvalidRequest {
+                        reason: format!(
+                            "`{}` declares no `faults` and ships no bundled fault plan",
+                            entry.name
+                        ),
+                    }
+                })?;
+                let est = scenario
+                    .estimator()
+                    .request()
+                    .with_faults(plan, Seconds::millis(req.horizon_ms))
+                    .evaluate()?;
+                Ok(render_estimate("estimate_degraded", &entry.name, &est))
+            }
+            RequestKind::Sweep => {
+                let reference = scenario.traffic.ingress_bandwidth();
+                let points = rate_sweep(
+                    &scenario.graph,
+                    &scenario.hardware,
+                    &scenario.traffic,
+                    reference,
+                    &req.fractions,
+                )?;
+                let knee = knee_of(&points, 0.01);
+                let mut out = String::with_capacity(64 + points.len() * 96);
+                push_kind(&mut out, "sweep", &entry.name);
+                out.push_str(",\"points\":[");
+                for (i, p) in points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"offered_gbps\":");
+                    render_number(p.offered.as_gbps(), &mut out);
+                    out.push_str(",\"delivered_gbps\":");
+                    render_number(p.delivered.as_gbps(), &mut out);
+                    out.push_str(",\"latency_us\":");
+                    render_number(p.latency.as_secs() * 1e6, &mut out);
+                    out.push_str(",\"peak_utilization\":");
+                    render_number(p.peak_utilization, &mut out);
+                    out.push('}');
+                }
+                out.push_str("],\"knee_index\":");
+                match knee {
+                    Some(i) => render_number(i as f64, &mut out),
+                    None => out.push_str("null"),
+                }
+                Ok(out)
+            }
+            RequestKind::Simulate => self.evaluate_simulate(req, entry, &scenario),
+            RequestKind::Analyze
+            | RequestKind::Health
+            | RequestKind::Stats
+            | RequestKind::DebugPanic => {
+                unreachable!("handled before evaluation")
+            }
+        }
+    }
+
+    fn evaluate_simulate(
+        &self,
+        req: &Request,
+        entry: &GraphEntry,
+        scenario: &Scenario,
+    ) -> Result<String, ServiceError> {
+        let duration = Seconds::millis(req.duration_ms);
+        let mut budget = self.config.max_events_per_request;
+        if req.max_events > 0 {
+            budget = budget.min(req.max_events);
+        }
+        if let Some(deadline_ms) = req.deadline_ms {
+            let from_deadline = (deadline_ms.ceil() as u64)
+                .saturating_mul(self.config.events_per_deadline_ms)
+                .max(1);
+            budget = budget.min(from_deadline);
+        }
+        let config = SimConfig {
+            duration,
+            warmup: duration.scaled(0.2),
+            max_events: budget,
+            ..SimConfig::default()
+        };
+        let replication = Replication::new(req.seeds).threads(self.config.threads);
+        let inline = req.fault_plan();
+        let plan = inline.as_ref().or(entry.plan.as_ref());
+        let report = match plan {
+            Some(p) => replication.run_sim_faulted(
+                &scenario.graph,
+                &scenario.hardware,
+                &scenario.traffic,
+                config,
+                p,
+            )?,
+            None => replication.run_sim(
+                &scenario.graph,
+                &scenario.hardware,
+                &scenario.traffic,
+                config,
+            )?,
+        };
+        let mut out = String::with_capacity(256);
+        push_kind(&mut out, "simulate", &entry.name);
+        use core::fmt::Write as _;
+        let _ = write!(out, ",\"seeds\":{}", report.seeds.len());
+        out.push_str(",\"latency_s\":");
+        render_summary(&report.latency_mean, &mut out);
+        out.push_str(",\"throughput_gbps\":");
+        render_summary(&report.throughput_gbps, &mut out);
+        out.push_str(",\"loss_rate\":");
+        render_summary(&report.loss_rate, &mut out);
+        Ok(out)
+    }
+
+    fn render_health(&self) -> String {
+        let mut out = String::with_capacity(96);
+        use core::fmt::Write as _;
+        let _ = write!(
+            out,
+            "\"kind\":\"health\",\"status\":\"ok\",\"graphs\":{},\"uptime_ms\":",
+            self.graphs.len()
+        );
+        render_number(self.uptime_ms(), &mut out);
+        out
+    }
+
+    /// Counters *before* this stats request itself is accounted.
+    fn render_stats(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::with_capacity(256);
+        use core::fmt::Write as _;
+        let _ = write!(
+            out,
+            "\"kind\":\"stats\",\"received\":{},\"served\":{},\"shed\":{},\"failed\":{},\
+             \"isolated_panics\":{},\"occupancy\":{},\"uptime_ms\":",
+            s.received,
+            s.served,
+            s.shed,
+            s.failed,
+            s.isolated_panics,
+            self.gauge.occupancy()
+        );
+        render_number(self.uptime_ms(), &mut out);
+        out.push_str(",\"latency_mean_ms\":");
+        render_number(s.latency_mean_ms(), &mut out);
+        out.push_str(",\"latency_p50_ms\":");
+        render_number(s.latency_quantile_ms(0.5), &mut out);
+        out.push_str(",\"latency_p99_ms\":");
+        render_number(s.latency_quantile_ms(0.99), &mut out);
+        out
+    }
+
+    fn uptime_ms(&self) -> f64 {
+        if self.config.deterministic {
+            self.stats.logical_ms as f64
+        } else {
+            self.started.elapsed().as_secs_f64() * 1e3
+        }
+    }
+}
+
+fn push_kind(out: &mut String, kind: &str, graph: &str) {
+    use core::fmt::Write as _;
+    let _ = write!(out, "\"kind\":\"{kind}\",\"graph\":\"{}\"", escape(graph));
+}
+
+fn render_summary(m: &MetricSummary, out: &mut String) {
+    out.push_str("{\"mean\":");
+    render_number(m.mean, out);
+    out.push_str(",\"ci_lo\":");
+    render_number(m.ci_lo, out);
+    out.push_str(",\"ci_hi\":");
+    render_number(m.ci_hi, out);
+    out.push('}');
+}
+
+fn render_estimate(kind: &str, graph: &str, est: &Estimate) -> String {
+    let mut out = String::with_capacity(256);
+    push_kind(&mut out, kind, graph);
+    out.push_str(",\"attainable_gbps\":");
+    render_number(est.throughput.attainable().as_gbps(), &mut out);
+    out.push_str(",\"delivered_gbps\":");
+    render_number(est.delivered.as_gbps(), &mut out);
+    out.push_str(",\"latency_us\":");
+    render_number(est.latency.mean().as_secs() * 1e6, &mut out);
+    use core::fmt::Write as _;
+    let _ = write!(
+        out,
+        ",\"saturated\":{},\"bottleneck\":\"{}\"",
+        est.throughput.is_saturated(),
+        escape(&est.throughput.bottleneck().component.to_string())
+    );
+    if let Some(d) = &est.degraded {
+        out.push_str(",\"availability\":");
+        render_number(d.availability, &mut out);
+        out.push_str(",\"retry_inflation\":");
+        render_number(d.retry_inflation, &mut out);
+        out.push_str(",\"residual_loss\":");
+        render_number(d.residual_loss, &mut out);
+        out.push_str(",\"goodput_gbps\":");
+        render_number(d.goodput.as_gbps(), &mut out);
+    }
+    out
+}
+
+fn render_analysis(report: &lognic_model::analyze::AnalysisReport) -> String {
+    let mut out = String::with_capacity(128);
+    use core::fmt::Write as _;
+    let _ = write!(
+        out,
+        "\"kind\":\"analyze\",\"rejected\":{}",
+        report.is_rejected()
+    );
+    out.push_str(",\"diagnostics\":[");
+    let mut first = true;
+    for d in report.diagnostics() {
+        if d.severity < Severity::Warn {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&d.render_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Outcome of one pass over an input stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines answered.
+    pub responses: u64,
+}
+
+/// Runs the JSON-lines loop: one response line per request line,
+/// flushing after every response so a piped driver can interleave.
+///
+/// Lines longer than [`ServeConfig::max_line_bytes`] are answered
+/// with a `parse_error` and skipped without ever being buffered in
+/// full; invalid UTF-8 likewise gets a typed response. Blank lines
+/// are ignored. The loop only ends at end-of-input.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the underlying streams; protocol-level
+/// problems never abort the loop.
+pub fn serve<R: BufRead, W: Write>(
+    service: &mut Service,
+    input: &mut R,
+    output: &mut W,
+) -> std::io::Result<ServeSummary> {
+    let mut responses = 0u64;
+    let max = service.config.max_line_bytes;
+    let mut line: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        line.clear();
+        let mut oversized = false;
+        // Bounded line reader: consume up to (and including) the next
+        // newline, retaining at most `max` bytes.
+        let saw_line = loop {
+            let buf = input.fill_buf()?;
+            if buf.is_empty() {
+                break !line.is_empty() || oversized;
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !oversized {
+                        if line.len() + pos > max {
+                            oversized = true;
+                        } else {
+                            line.extend_from_slice(&buf[..pos]);
+                        }
+                    }
+                    input.consume(pos + 1);
+                    break true;
+                }
+                None => {
+                    let len = buf.len();
+                    if !oversized {
+                        if line.len() + len > max {
+                            oversized = true;
+                        } else {
+                            line.extend_from_slice(buf);
+                        }
+                    }
+                    input.consume(len);
+                }
+            }
+        };
+        if !saw_line {
+            break;
+        }
+        let response = if oversized {
+            service.stats.received += 1;
+            service.stats.failed += 1;
+            render_error_response(
+                None,
+                &ServiceError::Parse {
+                    reason: format!("request line exceeds {max} bytes"),
+                },
+            )
+        } else {
+            match std::str::from_utf8(&line) {
+                Ok(text) if text.trim().is_empty() => continue,
+                Ok(text) => service.handle_line(text),
+                Err(_) => {
+                    service.stats.received += 1;
+                    service.stats.failed += 1;
+                    render_error_response(
+                        None,
+                        &ServiceError::Parse {
+                            reason: "request line is not valid UTF-8".into(),
+                        },
+                    )
+                }
+            }
+        };
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        responses += 1;
+    }
+    Ok(ServeSummary { responses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_service() -> Service {
+        Service::new(ServeConfig {
+            deterministic: true,
+            allow_debug_panic: true,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn estimate_round_trip_is_valid_json() {
+        let mut s = det_service();
+        let out = s.handle_line(r#"{"id":1,"kind":"estimate","graph":"nvmeof","rate_gbps":4.0}"#);
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"delivered_gbps\":"), "{out}");
+        parse(&out).expect("valid JSON");
+        assert_eq!(s.stats().served, 1);
+    }
+
+    #[test]
+    fn unknown_graph_and_kind_are_typed() {
+        let mut s = det_service();
+        let out = s.handle_line(r#"{"kind":"estimate","graph":"no-such"}"#);
+        assert!(out.contains("\"code\":\"unknown_graph\""), "{out}");
+        let out = s.handle_line(r#"{"kind":"frobnicate"}"#);
+        assert!(out.contains("\"code\":\"unknown_kind\""), "{out}");
+        assert_eq!(s.stats().failed, 2);
+    }
+
+    #[test]
+    fn deadline_shorter_than_predicted_cost_is_refused_at_admission() {
+        let mut s = det_service();
+        let out = s.handle_line(
+            r#"{"kind":"simulate","graph":"nvmeof","seeds":4,"duration_ms":10,"deadline_ms":5}"#,
+        );
+        assert!(out.contains("\"code\":\"deadline_exceeded\""), "{out}");
+        assert!(out.contains("\"predicted_ms\":40"), "{out}");
+        // health with deadline 0 still passes: zero predicted cost.
+        let out = s.handle_line(r#"{"kind":"health","deadline_ms":0}"#);
+        assert!(out.contains("\"ok\":true"), "{out}");
+    }
+
+    #[test]
+    fn sustained_load_sheds_with_retry_hints_and_recovers() {
+        let mut s = Service::new(ServeConfig {
+            deterministic: true,
+            high_water: 8,
+            drain_per_request: 1,
+            ..ServeConfig::default()
+        });
+        let mut shed = 0;
+        for i in 0..10 {
+            let out = s.handle_line(
+                r#"{"kind":"sweep","graph":"nvmeof","fractions":[0.2,0.4,0.6,0.8,1.0]}"#,
+            );
+            if out.contains("\"code\":\"overloaded\"") {
+                assert!(out.contains("\"retry_after_ms\":"), "{out}");
+                shed += 1;
+            } else {
+                assert!(out.contains("\"ok\":true"), "request {i}: {out}");
+            }
+        }
+        assert!(
+            shed > 0,
+            "sustained 5-point sweeps must trip an 8-unit gauge"
+        );
+        assert_eq!(s.stats().shed, shed);
+        // Zero-cost probes are never shed even at the mark.
+        let out = s.handle_line(r#"{"kind":"health"}"#);
+        assert!(out.contains("\"ok\":true"), "{out}");
+    }
+
+    #[test]
+    fn panics_are_contained_and_the_loop_keeps_serving() {
+        let mut s = det_service();
+        let out = s.handle_line(r#"{"id":"p","kind":"debug_panic"}"#);
+        assert!(out.contains("\"code\":\"internal\""), "{out}");
+        assert!(out.contains("\"id\":\"p\""), "{out}");
+        assert_eq!(s.stats().isolated_panics, 1);
+        let out = s.handle_line(r#"{"kind":"health"}"#);
+        assert!(out.contains("\"ok\":true"), "still serving: {out}");
+    }
+
+    #[test]
+    fn debug_panic_is_disabled_by_default() {
+        let mut s = Service::new(ServeConfig {
+            deterministic: true,
+            ..ServeConfig::default()
+        });
+        let out = s.handle_line(r#"{"kind":"debug_panic"}"#);
+        assert!(out.contains("\"code\":\"invalid_request\""), "{out}");
+        assert_eq!(s.stats().isolated_panics, 0);
+    }
+
+    #[test]
+    fn serve_loop_answers_every_line_and_survives_garbage() {
+        let mut s = det_service();
+        let input = b"{\"kind\":\"health\"}\nnot json at all\n\n{\"kind\":\"stats\"}\n\xff\xfe\n";
+        let mut out = Vec::new();
+        let summary = serve(&mut s, &mut &input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(summary.responses, 4, "blank line ignored: {text}");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("parse_error"), "{text}");
+        assert!(lines[3].contains("not valid UTF-8"), "{text}");
+        for l in &lines {
+            parse(l).expect("every response line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_without_buffering() {
+        let mut s = Service::new(ServeConfig {
+            deterministic: true,
+            max_line_bytes: 128,
+            ..ServeConfig::default()
+        });
+        let mut input = Vec::new();
+        input.extend_from_slice(&vec![b'x'; 1 << 20]);
+        input.extend_from_slice(b"\n{\"kind\":\"health\"}\n");
+        let mut out = Vec::new();
+        let summary = serve(&mut s, &mut &input[..], &mut out).unwrap();
+        assert_eq!(summary.responses, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("exceeds 128 bytes"), "{text}");
+        assert!(text.contains("\"status\":\"ok\""), "{text}");
+    }
+
+    #[test]
+    fn deterministic_transcripts_are_byte_identical_across_runs_and_threads() {
+        let requests = [
+            r#"{"id":1,"kind":"estimate","graph":"nvmeof"}"#,
+            r#"{"id":2,"kind":"simulate","graph":"switch-kv","seeds":3,"duration_ms":2}"#,
+            r#"{"id":3,"kind":"stats"}"#,
+            r#"{"id":4,"kind":"analyze","graph":"chaos"}"#,
+        ];
+        let run = |threads: usize| {
+            let mut s = Service::new(ServeConfig {
+                deterministic: true,
+                threads,
+                ..ServeConfig::default()
+            });
+            requests
+                .iter()
+                .map(|r| s.handle_line(r))
+                .collect::<Vec<_>>()
+        };
+        let one = run(1);
+        assert_eq!(one, run(1), "same thread count, same bytes");
+        assert_eq!(one, run(4), "thread count must not leak into responses");
+    }
+
+    #[test]
+    fn watchdog_abort_surfaces_as_structured_response() {
+        let mut s = det_service();
+        let out = s.handle_line(
+            r#"{"id":"w","kind":"simulate","graph":"nvmeof","seeds":2,"duration_ms":20,"max_events":500}"#,
+        );
+        assert!(
+            out.contains("\"code\":\"watchdog_abort\"") || out.contains("\"events\":"),
+            "a 500-event budget cannot finish 20ms: {out}"
+        );
+        parse(&out).expect("valid JSON");
+        let out = s.handle_line(r#"{"kind":"health"}"#);
+        assert!(out.contains("\"ok\":true"), "still serving: {out}");
+    }
+}

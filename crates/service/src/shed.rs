@@ -1,0 +1,131 @@
+//! Deterministic overload protection.
+//!
+//! The gauge models in-flight work as *logical occupancy*: every
+//! admitted request adds its [`cost`](crate::request::Request::cost)
+//! and every arrival drains a fixed amount (work completing between
+//! requests). Because both sides are pure functions of the request
+//! stream — never of wall-clock time or thread scheduling — the exact
+//! same requests shed at the exact same positions on every run, which
+//! is what makes shed responses golden-testable.
+
+use crate::error::ServiceError;
+
+/// The logical in-flight gauge behind load shedding.
+#[derive(Debug, Clone)]
+pub struct LoadGauge {
+    occupancy: u64,
+    high_water: u64,
+    drain_per_request: u64,
+    shed: u64,
+}
+
+impl LoadGauge {
+    /// A gauge that sheds when admitting a request would push logical
+    /// occupancy past `high_water`, draining `drain_per_request`
+    /// units of completed work at every arrival.
+    pub fn new(high_water: u64, drain_per_request: u64) -> Self {
+        LoadGauge {
+            occupancy: 0,
+            high_water,
+            drain_per_request,
+            shed: 0,
+        }
+    }
+
+    /// Current logical occupancy.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed
+    }
+
+    /// Drains completed work and then either admits `cost` units or
+    /// sheds the request with a deterministic retry hint.
+    ///
+    /// The hint is the logical time until enough occupancy has
+    /// drained for this cost to fit: `ceil(overshoot /
+    /// drain_per_request)` arrivals' worth of drain, floored at one
+    /// millisecond so a hint is never zero.
+    pub fn admit(&mut self, cost: u64) -> Result<(), ServiceError> {
+        self.occupancy = self.occupancy.saturating_sub(self.drain_per_request);
+        let after = self.occupancy.saturating_add(cost);
+        if after > self.high_water {
+            self.shed += 1;
+            let overshoot = after - self.high_water;
+            let drain = self.drain_per_request.max(1);
+            return Err(ServiceError::Overloaded {
+                retry_after_ms: overshoot.div_ceil(drain).max(1),
+                occupancy: self.occupancy,
+                high_water: self.high_water,
+            });
+        }
+        self.occupancy = after;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_high_water_then_sheds_with_a_hint() {
+        let mut g = LoadGauge::new(10, 0);
+        assert!(g.admit(4).is_ok());
+        assert!(g.admit(4).is_ok());
+        assert_eq!(g.occupancy(), 8);
+        let err = g.admit(4).unwrap_err();
+        let ServiceError::Overloaded {
+            retry_after_ms,
+            occupancy,
+            high_water,
+        } = err
+        else {
+            panic!("expected Overloaded, got {err:?}");
+        };
+        assert_eq!(occupancy, 8);
+        assert_eq!(high_water, 10);
+        assert_eq!(retry_after_ms, 2, "overshoot of 2 units, drain floor 1");
+        assert_eq!(g.shed_count(), 1);
+        // A shed request must not consume capacity.
+        assert_eq!(g.occupancy(), 8);
+    }
+
+    #[test]
+    fn drain_recovers_capacity_between_requests() {
+        let mut g = LoadGauge::new(8, 4);
+        assert!(g.admit(8).is_ok());
+        // Drain of 4 makes room for another 4 even at the mark.
+        assert!(g.admit(4).is_ok());
+        assert_eq!(g.occupancy(), 8);
+        assert!(g.admit(8).is_err());
+        // Two more arrivals drain 8 units; the same request then fits.
+        assert!(g.admit(0).is_ok());
+        assert!(g.admit(8).is_ok());
+    }
+
+    #[test]
+    fn zero_cost_probes_always_pass() {
+        let mut g = LoadGauge::new(4, 0);
+        assert!(g.admit(4).is_ok());
+        for _ in 0..100 {
+            assert!(g.admit(0).is_ok(), "health probes never shed");
+        }
+    }
+
+    #[test]
+    fn identical_streams_shed_at_identical_positions() {
+        let costs = [3u64, 5, 2, 7, 1, 6, 4, 4, 9, 2];
+        let run = || {
+            let mut g = LoadGauge::new(12, 2);
+            costs
+                .iter()
+                .map(|&c| g.admit(c).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run(), "gauge is a pure function of the stream");
+    }
+}

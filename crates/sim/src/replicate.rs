@@ -18,7 +18,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use lognic_model::error::LogNicResult;
+use lognic_model::error::{LogNicError, LogNicResult};
 use lognic_model::fault::FaultPlan;
 use lognic_model::graph::ExecutionGraph;
 use lognic_model::params::{HardwareModel, TrafficProfile};
@@ -158,9 +158,18 @@ impl Replication {
     }
 
     /// Like [`Replication::run`] for fallible replicas: runs every
-    /// seed, then propagates the first error *in seed order* (not in
-    /// completion order, which would make the reported error depend on
-    /// the thread schedule).
+    /// seed, then reports failures *in seed order* (not in completion
+    /// order, which would make the reported error depend on the
+    /// thread schedule).
+    ///
+    /// When every replica fails, the first seed's error propagates
+    /// as-is (a structurally broken scenario fails the same way on
+    /// every seed, and that error is the useful one). When only
+    /// *some* replicas fail — one pathological seed tripping the
+    /// event-budget watchdog while the rest complete — the result is
+    /// a structured [`LogNicError::ReplicationPartial`] naming which
+    /// seeds completed and which aborted with what, instead of a bare
+    /// abort that hides how close the replication came to finishing.
     pub fn try_run<F>(&self, run_one: F) -> LogNicResult<ReplicatedReport>
     where
         F: Fn(u64) -> LogNicResult<SimReport> + Sync,
@@ -181,13 +190,35 @@ impl Replication {
                 });
             }
         });
-        let reports: Vec<SimReport> = slots
+        let outcomes: Vec<LogNicResult<SimReport>> = slots
             .into_inner()
             .expect("scope joined all workers")
             .into_iter()
             .map(|r| r.expect("every seed index was claimed exactly once"))
-            .collect::<LogNicResult<_>>()?;
-        Ok(ReplicatedReport::aggregate(self.seeds.clone(), reports))
+            .collect();
+        if outcomes.iter().all(|r| r.is_ok()) {
+            let reports = outcomes
+                .into_iter()
+                .map(|r| r.expect("checked ok"))
+                .collect();
+            return Ok(ReplicatedReport::aggregate(self.seeds.clone(), reports));
+        }
+        if outcomes.iter().all(|r| r.is_err()) {
+            return Err(outcomes
+                .into_iter()
+                .next()
+                .expect("a replication has at least one seed")
+                .expect_err("checked err"));
+        }
+        let mut completed = Vec::new();
+        let mut failed = Vec::new();
+        for (seed, outcome) in self.seeds.iter().zip(outcomes) {
+            match outcome {
+                Ok(_) => completed.push(*seed),
+                Err(e) => failed.push((*seed, Box::new(e))),
+            }
+        }
+        Err(LogNicError::ReplicationPartial { completed, failed })
     }
 
     /// Convenience: replicates a plain [`Simulation`] built from the

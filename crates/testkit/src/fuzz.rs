@@ -263,6 +263,132 @@ impl Fuzz {
     }
 }
 
+/// One hostile `lognic serve` request line, drawn from ten attack
+/// families: truncated JSON, unknown graph names, negative rates,
+/// `NaN` rate literals, zero deadlines on costly kinds, oversized
+/// sweeps, unknown fields, mistyped fields, depth bombs and raw
+/// control-character garbage.
+///
+/// The testkit knows nothing about the service crate, so the
+/// generator produces wire *strings*; the serve fuzz suite pipes them
+/// through the loop and asserts every one is answered with a typed
+/// error. Lines never contain a newline (one request per line is the
+/// protocol's framing invariant) and generation is deterministic in
+/// the [`Gen`] seed like everything else in the testkit.
+pub fn malformed_request_line(g: &mut Gen) -> String {
+    const KINDS: &[&str] = &[
+        "estimate",
+        "estimate_degraded",
+        "analyze",
+        "sweep",
+        "simulate",
+    ];
+    const GRAPHS: &[&str] = &["nvmeof", "chaos", "switch-kv", "http2-mux"];
+    match g.usize(0..10) {
+        0 => {
+            // Truncated JSON: a plausible request cut mid-document.
+            let full = format!(
+                "{{\"id\":{},\"kind\":\"{}\",\"graph\":\"{}\",\"rate_gbps\":{:.3}}}",
+                g.u64(0..1000),
+                g.pick(KINDS),
+                g.pick(GRAPHS),
+                g.f64(0.1..20.0)
+            );
+            let cut = g.usize(1..full.len());
+            full[..cut].to_owned()
+        }
+        1 => format!(
+            "{{\"kind\":\"{}\",\"graph\":\"no-such-graph-{}\"}}",
+            g.pick(KINDS),
+            g.u64(0..u64::MAX)
+        ),
+        2 => format!(
+            "{{\"kind\":\"estimate\",\"graph\":\"{}\",\"rate_gbps\":-{:.3}}}",
+            g.pick(GRAPHS),
+            g.f64(0.001..100.0)
+        ),
+        3 => {
+            // Non-finite rates: a bare NaN literal (invalid JSON) or
+            // an overflowing exponent (parses to infinity, which a
+            // strict number grammar must refuse).
+            let literal = *g.pick(&["NaN", "-Infinity", "1e999"]);
+            format!(
+                "{{\"kind\":\"estimate\",\"graph\":\"{}\",\"rate_gbps\":{literal}}}",
+                g.pick(GRAPHS)
+            )
+        }
+        4 => format!(
+            "{{\"kind\":\"{}\",\"graph\":\"{}\",\"deadline_ms\":0{}}}",
+            g.pick(&["estimate", "sweep", "simulate"]),
+            g.pick(GRAPHS),
+            if *g.pick(&[true, false]) {
+                ",\"fractions\":[0.5]"
+            } else {
+                ""
+            }
+        ),
+        5 => {
+            // Oversized sweep: far past any sane point cap.
+            let n = g.usize(65..512);
+            let mut fractions = String::new();
+            for i in 0..n {
+                if i > 0 {
+                    fractions.push(',');
+                }
+                fractions.push_str(&format!("{:.2}", 0.1 + (i % 100) as f64 * 0.01));
+            }
+            format!(
+                "{{\"kind\":\"sweep\",\"graph\":\"{}\",\"fractions\":[{fractions}]}}",
+                g.pick(GRAPHS)
+            )
+        }
+        6 => format!(
+            "{{\"kind\":\"estimate\",\"graph\":\"{}\",\"bogus_field_{}\":1}}",
+            g.pick(GRAPHS),
+            g.u64(0..100)
+        ),
+        7 => {
+            // Mistyped fields and non-object documents.
+            (*g.pick(&[
+                "{\"kind\":7,\"graph\":\"nvmeof\"}",
+                "{\"kind\":\"estimate\",\"graph\":[\"nvmeof\"]}",
+                "{\"kind\":\"simulate\",\"graph\":\"nvmeof\",\"seeds\":\"three\"}",
+                "[\"estimate\",\"nvmeof\"]",
+                "\"estimate\"",
+                "42",
+            ]))
+            .to_owned()
+        }
+        8 => {
+            // Depth bomb: nesting far past the parser's limit.
+            let depth = g.usize(40..200);
+            let mut s = String::with_capacity(2 * depth + 16);
+            for _ in 0..depth {
+                s.push('[');
+            }
+            s.push('1');
+            for _ in 0..depth {
+                s.push(']');
+            }
+            s
+        }
+        _ => {
+            // Raw garbage: printable and control bytes, never '\n'.
+            let len = g.usize(1..64);
+            (0..len)
+                .map(|_| {
+                    let b = g.u32(1..127) as u8;
+                    if b == b'\n' {
+                        '\t'
+                    } else {
+                        b as char
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +494,36 @@ mod tests {
         let b = run();
         assert_eq!(a.checked, b.checked);
         assert_eq!(a.attempts, b.attempts);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_single_line_and_deterministic() {
+        let batch = |seed: u64| -> Vec<String> {
+            let mut g = Gen::new(seed);
+            (0..200).map(|_| malformed_request_line(&mut g)).collect()
+        };
+        let a = batch(7);
+        assert_eq!(a, batch(7), "deterministic in the seed");
+        assert_ne!(a, batch(8), "different seeds explore different lines");
+        for line in &a {
+            assert!(!line.is_empty());
+            assert!(!line.contains('\n'), "framing invariant: {line:?}");
+        }
+        // All ten attack families appear within a modest budget.
+        let truncated = a.iter().any(|l| l.starts_with('{') && !l.ends_with('}'));
+        let unknown_graph = a.iter().any(|l| l.contains("no-such-graph-"));
+        let negative = a.iter().any(|l| l.contains("\"rate_gbps\":-"));
+        let nonfinite = a
+            .iter()
+            .any(|l| l.contains("NaN") || l.contains("Infinity") || l.contains("1e999"));
+        let zero_deadline = a.iter().any(|l| l.contains("\"deadline_ms\":0"));
+        let oversized = a.iter().any(|l| l.matches(',').count() > 64);
+        assert!(
+            truncated && unknown_graph && negative && nonfinite && zero_deadline && oversized,
+            "families missing: truncated={truncated} unknown={unknown_graph} \
+             negative={negative} nonfinite={nonfinite} deadline0={zero_deadline} \
+             oversized={oversized}"
+        );
     }
 
     #[test]

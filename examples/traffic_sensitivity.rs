@@ -25,7 +25,7 @@ fn offload() -> lognic::model::error::Result<ExecutionGraph> {
     b.build()
 }
 
-fn main() -> lognic::model::error::Result<()> {
+fn main() -> lognic::model::error::LogNicResult<()> {
     let hw = HardwareModel::new(Bandwidth::gbps(50.0), Bandwidth::gbps(100.0));
     let graph = offload()?;
 
@@ -50,7 +50,7 @@ fn main() -> lognic::model::error::Result<()> {
                 .with_queue_capacity(128),
         )?;
         let t = TrafficProfile::fixed(peak * 0.7, size_b);
-        let est = Estimator::new(&g, &hw, &t).estimate()?;
+        let est = Estimator::new(&g, &hw, &t).request().evaluate()?;
         println!(
             "{:>8} {:>14.2} {:>12.2}",
             size_b.to_string(),

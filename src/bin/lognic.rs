@@ -247,10 +247,22 @@ fn cmd_suggest() {
     );
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use lognic::service::{serve, ServeOptions, Service};
+    let options = ServeOptions::parse(args.iter().cloned())?;
+    let mut service = Service::new(options.config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = std::io::BufReader::new(stdin.lock());
+    let mut output = std::io::BufWriter::new(stdout.lock());
+    serve(&mut service, &mut input, &mut output).map_err(|e| format!("I/O error: {e}"))?;
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: lognic (list | estimate <scenario> | simulate <scenario> | dot <scenario> | suggest) [flags]");
+        eprintln!("usage: lognic (list | estimate <scenario> | simulate <scenario> | dot <scenario> | suggest | serve) [flags]");
         eprintln!("flags: --rate-gbps N  --size BYTES  --cores N  --seed N  --ms N");
         eprintln!("scenarios:");
         for (name, desc) in SCENARIOS {
@@ -272,6 +284,7 @@ fn main() {
             cmd_suggest();
             Ok(())
         }
+        "serve" => cmd_serve(&args[1..]),
         cmd @ ("estimate" | "simulate" | "dot") => {
             let Some(name) = args.get(1) else {
                 usage();

@@ -17,6 +17,9 @@
 //!   PANIC design exploration).
 //! * [`optimizer`] — the optimizer mode: constrained search over the
 //!   model's configurable parameters.
+//! * [`service`] — the hardened `lognic serve` JSON-lines loop:
+//!   admission control, deadlines, budgets and load shedding around
+//!   the model and simulator.
 //!
 //! ## Quick start
 //!
@@ -41,6 +44,7 @@
 pub use lognic_devices as devices;
 pub use lognic_model as model;
 pub use lognic_optimizer as optimizer;
+pub use lognic_service as service;
 pub use lognic_sim as sim;
 pub use lognic_workloads as workloads;
 

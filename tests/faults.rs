@@ -76,12 +76,14 @@ fn degraded_model_inside_sim_ci_under_rate_degradation() {
     let plan = FaultPlan::new().degrade_rate("ip", 0.5, Seconds::ZERO, horizon);
 
     let est = Estimator::new(&g, &hw(), &t)
-        .estimate_degraded(&plan, horizon)
+        .request()
+        .with_faults(&plan, horizon)
+        .evaluate()
         .expect("valid degraded scenario");
     assert!(
-        (est.estimate.throughput.attainable().as_gbps() - 5.0).abs() < 1e-9,
+        (est.throughput.attainable().as_gbps() - 5.0).abs() < 1e-9,
         "degraded capacity should be 5 Gb/s, got {}",
-        est.estimate.throughput.attainable()
+        est.throughput.attainable()
     );
 
     let config = SimConfig {
@@ -92,7 +94,7 @@ fn degraded_model_inside_sim_ci_under_rate_degradation() {
     let rep = Replication::new(8)
         .run_sim_faulted(&g, &hw(), &t, config, &plan)
         .expect("valid faulted scenario");
-    let predicted = est.estimate.delivered.as_gbps();
+    let predicted = est.delivered.as_gbps();
     // Loose containment: CI half-widths at N=8 are sub-percent, so
     // allow the usual model-error margin on top of the interval.
     let err = (predicted - rep.throughput_gbps.mean).abs() / rep.throughput_gbps.mean;
@@ -189,7 +191,9 @@ fn typed_errors_on_every_entry_point() {
     assert!(matches!(err, LogNicError::UnknownNode { .. }), "{err}");
 
     let err = Estimator::new(&g, &hw(), &t)
-        .estimate_degraded(&ghost, Seconds::millis(2.0))
+        .request()
+        .with_faults(&ghost, Seconds::millis(2.0))
+        .evaluate()
         .unwrap_err();
     assert!(matches!(err, LogNicError::UnknownNode { .. }), "{err}");
 

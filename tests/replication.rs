@@ -117,6 +117,75 @@ fn replicated_ci_brackets_analytical_mean_latency() {
     );
 }
 
+/// One pathological seed tripping the event-budget watchdog while the
+/// rest complete must surface as a structured
+/// [`LogNicError::ReplicationPartial`] naming both sides in seed
+/// order — not as a bare watchdog abort that hides how close the
+/// replication came to finishing.
+#[test]
+fn partial_watchdog_failure_names_completed_and_aborted_seeds() {
+    let g = mm1_chain(64);
+    let hw = hw();
+    let t = TrafficProfile::fixed(Bandwidth::gbps(7.0), Bytes::new(1250));
+    let rep = Replication::new(4);
+    let victim = rep.seeds()[1];
+    let run_with_budget_on = |rep: &Replication, victim: u64| {
+        rep.try_run(|seed| {
+            // The victim gets a 50-event budget (a 2 ms run needs
+            // thousands); everyone else runs uncapped.
+            let max_events = if seed == victim { 50 } else { 0 };
+            Simulation::builder(&g, &hw, &t)
+                .config(SimConfig {
+                    seed,
+                    max_events,
+                    ..cfg(2.0)
+                })
+                .run()
+        })
+    };
+    let err = run_with_budget_on(&rep, victim).expect_err("one replica must trip the watchdog");
+    let LogNicError::ReplicationPartial { completed, failed } = &err else {
+        panic!("expected ReplicationPartial, got {err}");
+    };
+    let expected_completed: Vec<u64> = rep
+        .seeds()
+        .iter()
+        .copied()
+        .filter(|&s| s != victim)
+        .collect();
+    assert_eq!(
+        completed, &expected_completed,
+        "completed seeds, in seed order"
+    );
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].0, victim);
+    assert!(
+        matches!(*failed[0].1, LogNicError::WatchdogAbort { .. }),
+        "the per-seed error keeps its structure: {}",
+        failed[0].1
+    );
+    // The message names the aborted seed.
+    assert!(err.to_string().contains(&victim.to_string()), "{err}");
+    // The structured report is independent of the thread schedule.
+    let serial = Replication::new(4).threads(1);
+    let serial_err = run_with_budget_on(&serial, victim).expect_err("same failure on one thread");
+    assert_eq!(err, serial_err, "seed-order report, not completion-order");
+    // When *every* replica aborts, the first seed's error propagates
+    // as-is: uniformly broken runs keep their pre-partial behaviour.
+    let all = rep
+        .try_run(|seed| {
+            Simulation::builder(&g, &hw, &t)
+                .config(SimConfig {
+                    seed,
+                    max_events: 50,
+                    ..cfg(2.0)
+                })
+                .run()
+        })
+        .expect_err("every replica aborts");
+    assert!(matches!(all, LogNicError::WatchdogAbort { .. }), "{all}");
+}
+
 /// Custom metrics aggregate through the same machinery.
 #[test]
 fn summarize_custom_metric_is_deterministic() {

@@ -1,0 +1,376 @@
+//! Integration tests of `lognic serve`: the golden transcript, the
+//! malformed-request fuzz sweep, the 10k-line mixed-corpus
+//! determinism contract, and partial replication failures surfacing
+//! through the wire protocol.
+//!
+//! The committed corpus under `tests/golden/serve/` pins the exact
+//! request/response transcript the CI `serve-smoke` job replays
+//! through the `lognic-serve` binary. A deliberate protocol change is
+//! recorded by regenerating it:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test serve
+//! ```
+
+use std::path::PathBuf;
+
+use lognic::prelude::*;
+use lognic::service::{serve, ServeConfig, Service};
+use lognic::workloads::registry;
+use lognic_testkit::fuzz::malformed_request_line;
+use lognic_testkit::Gen;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/serve")
+        .join(name)
+}
+
+/// A service in transcript mode: logical clocks only, defaults
+/// otherwise — exactly what the CI smoke job starts the binary with
+/// (`lognic-serve --deterministic`).
+fn det_service(threads: usize) -> Service {
+    Service::new(ServeConfig {
+        deterministic: true,
+        threads,
+        ..ServeConfig::default()
+    })
+}
+
+/// Streams `input` through a fresh deterministic service and returns
+/// the transcript.
+fn run_transcript(input: &str, threads: usize) -> String {
+    let mut service = det_service(threads);
+    let mut out = Vec::new();
+    serve(&mut service, &mut input.as_bytes(), &mut out).expect("in-memory I/O cannot fail");
+    String::from_utf8(out).expect("responses are UTF-8")
+}
+
+fn curated_requests() -> String {
+    std::fs::read_to_string(golden_path("requests.jsonl")).expect("committed corpus exists")
+}
+
+/// The curated mixed corpus produces a byte-pinned transcript: one
+/// JSON response per request line, stable across releases unless the
+/// protocol deliberately changes.
+#[test]
+fn curated_corpus_matches_golden_transcript() {
+    let requests = curated_requests();
+    let transcript = run_transcript(&requests, 1);
+    assert_eq!(
+        transcript.lines().count(),
+        requests.lines().count(),
+        "exactly one response per request line"
+    );
+    for line in transcript.lines() {
+        lognic::service::json::parse(line).expect("every response is valid JSON");
+    }
+    let path = golden_path("transcript.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &transcript).expect("write golden transcript");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden transcript {} ({e}); run UPDATE_GOLDEN=1 cargo test --test serve",
+            path.display()
+        )
+    });
+    assert_eq!(
+        transcript,
+        expected,
+        "transcript diverges from {}; regenerate with UPDATE_GOLDEN=1 if deliberate",
+        path.display()
+    );
+}
+
+/// The curated corpus walks the whole typed-error surface.
+#[test]
+fn curated_corpus_exercises_every_error_code() {
+    let transcript = run_transcript(&curated_requests(), 1);
+    for code in [
+        "parse_error",
+        "invalid_request",
+        "unknown_graph",
+        "unknown_kind",
+        "invalid_parameter",
+        "deadline_exceeded",
+        "overloaded",
+        "watchdog_abort",
+        "analysis_rejected",
+    ] {
+        assert!(
+            transcript.contains(&format!("\"code\":\"{code}\"")),
+            "corpus must exercise `{code}`:\n{transcript}"
+        );
+    }
+    assert!(transcript.contains("\"retry_after_ms\":"), "shed hint");
+    assert!(transcript.contains("\"ok\":true"), "and plenty succeeds");
+}
+
+/// The determinism contract on the curated corpus: byte-identical
+/// across invocations and across replication thread counts.
+#[test]
+fn curated_transcript_is_invocation_and_thread_stable() {
+    let requests = curated_requests();
+    let first = run_transcript(&requests, 1);
+    assert_eq!(first, run_transcript(&requests, 1), "same run, same bytes");
+    assert_eq!(
+        first,
+        run_transcript(&requests, 4),
+        "thread count must not leak into the transcript"
+    );
+}
+
+/// Every line the malformed-request generator can produce is answered
+/// with a typed error — and the service keeps serving afterwards.
+#[test]
+fn fuzzed_malformed_requests_all_get_typed_errors() {
+    let mut g = Gen::new(0xC0FFEE);
+    let mut requests = String::new();
+    for _ in 0..400 {
+        requests.push_str(&malformed_request_line(&mut g));
+        requests.push('\n');
+    }
+    requests.push_str("{\"id\":\"after\",\"kind\":\"health\"}\n");
+    let transcript = run_transcript(&requests, 1);
+    let lines: Vec<&str> = transcript.lines().collect();
+    assert_eq!(lines.len(), 401, "one response per request line");
+    for (i, line) in lines[..400].iter().enumerate() {
+        let doc = lognic::service::json::parse(line)
+            .unwrap_or_else(|e| panic!("response {i} is not JSON ({e}): {line}"));
+        assert_eq!(
+            doc.get("ok").and_then(lognic::service::Json::as_bool),
+            Some(false),
+            "hostile request {i} must be refused: {line}"
+        );
+        let code = doc
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(lognic::service::Json::as_str)
+            .unwrap_or_else(|| panic!("response {i} has no error code: {line}"));
+        assert!(
+            !code.is_empty() && code != "internal",
+            "request {i}: {line}"
+        );
+    }
+    assert!(
+        lines[400].contains("\"status\":\"ok\""),
+        "still serving after 400 hostile lines: {}",
+        lines[400]
+    );
+}
+
+/// Builds the 10k-line mixed corpus: valid, malformed,
+/// analyzer-denied, deadline-exceeding and watchdog-tripping requests
+/// interleaved, with periodic overload bursts. Deterministic in the
+/// seed.
+fn mixed_corpus(lines: usize, seed: u64) -> String {
+    let graphs = registry::names();
+    let mut g = Gen::new(seed);
+    let mut out = String::with_capacity(lines * 64);
+    let burst_line = |out: &mut String, id: usize| {
+        // Three max-width sweeps back to back: cost 64 each against a
+        // 64-unit gauge draining 4 per arrival — the trailing ones
+        // shed with retry hints.
+        let mut fractions = String::new();
+        for i in 0..64 {
+            if i > 0 {
+                fractions.push(',');
+            }
+            fractions.push_str(&format!("{:.2}", 0.05 + i as f64 * 0.015));
+        }
+        for k in 0..3 {
+            out.push_str(&format!(
+                "{{\"id\":{},\"kind\":\"sweep\",\"graph\":\"nvmeof\",\"fractions\":[{fractions}]}}\n",
+                id * 10 + k
+            ));
+        }
+    };
+    let mut id = 0usize;
+    while out.lines().count() < lines {
+        id += 1;
+        if id.is_multiple_of(500) {
+            burst_line(&mut out, id);
+            continue;
+        }
+        match g.usize(0..100) {
+            // Half the stream is hostile.
+            0..=49 => {
+                out.push_str(&malformed_request_line(&mut g));
+                out.push('\n');
+            }
+            50..=69 => {
+                let kind = *g.pick(&["health", "stats"]);
+                out.push_str(&format!("{{\"id\":{id},\"kind\":\"{kind}\"}}\n"));
+            }
+            70..=84 => {
+                let kind = *g.pick(&["estimate", "analyze"]);
+                let graph = *g.pick(&graphs);
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"{kind}\",\"graph\":\"{graph}\"}}\n"
+                ));
+            }
+            85..=89 => {
+                // Analyzer-denied: a saturating rate under the strict
+                // posture.
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"estimate\",\"graph\":\"nvmeof\",\
+                     \"rate_gbps\":40,\"deny_warnings\":true}}\n"
+                ));
+            }
+            90..=95 => {
+                let n = g.usize(1..6);
+                let fractions: Vec<String> = (0..n)
+                    .map(|i| format!("{:.2}", 0.2 + i as f64 * 0.2))
+                    .collect();
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"sweep\",\"graph\":\"switch-kv\",\
+                     \"fractions\":[{}]}}\n",
+                    fractions.join(",")
+                ));
+            }
+            96..=97 => {
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"estimate_degraded\",\"graph\":\"chaos\",\
+                     \"horizon_ms\":12}}\n"
+                ));
+            }
+            98 => {
+                // Deadline-exceeding: predicted cost 2×1 = 2 > 1.
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"simulate\",\"graph\":\"dns-kv\",\
+                     \"seeds\":2,\"duration_ms\":1,\"deadline_ms\":1}}\n"
+                ));
+            }
+            _ => {
+                // Watchdog-tripping: a 300-event budget cannot finish
+                // a 1 ms horizon.
+                out.push_str(&format!(
+                    "{{\"id\":{id},\"kind\":\"simulate\",\"graph\":\"switch-kv\",\
+                     \"seeds\":2,\"duration_ms\":1,\"max_events\":300}}\n"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The acceptance-criteria contract: a 10k-line mixed corpus streams
+/// through one service — every request line answered with exactly one
+/// structured JSON response, overload shed with `retry_after`,
+/// byte-identical across two runs and across thread counts.
+#[test]
+fn ten_k_mixed_corpus_is_answered_completely_and_deterministically() {
+    let corpus = mixed_corpus(10_000, 0x10C0);
+    let request_count = corpus.lines().count();
+    assert!(request_count >= 10_000);
+
+    let first = run_transcript(&corpus, 1);
+    assert_eq!(
+        first.lines().count(),
+        request_count,
+        "exactly one response per request line"
+    );
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut watchdog = 0u64;
+    let mut deadline = 0u64;
+    let mut denied = 0u64;
+    let mut parse_errors = 0u64;
+    for line in first.lines() {
+        let doc =
+            lognic::service::json::parse(line).unwrap_or_else(|e| panic!("not JSON ({e}): {line}"));
+        match doc.get("ok").and_then(lognic::service::Json::as_bool) {
+            Some(true) => ok += 1,
+            Some(false) => {
+                let code = doc
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(lognic::service::Json::as_str)
+                    .expect("refusals carry a code");
+                match code {
+                    "overloaded" => {
+                        assert!(line.contains("\"retry_after_ms\":"), "{line}");
+                        shed += 1;
+                    }
+                    "watchdog_abort" | "replication_partial" => watchdog += 1,
+                    "deadline_exceeded" => deadline += 1,
+                    "analysis_rejected" => denied += 1,
+                    "parse_error" => parse_errors += 1,
+                    "internal" => panic!("nothing in the corpus may panic: {line}"),
+                    _ => {}
+                }
+            }
+            None => panic!("response without ok field: {line}"),
+        }
+    }
+    assert!(ok > 1000, "plenty of the corpus succeeds: {ok}");
+    assert!(shed > 0, "the bursts must shed");
+    assert!(
+        watchdog > 0,
+        "the capped simulations must trip the watchdog"
+    );
+    assert!(deadline > 0, "the tight deadlines must refuse at admission");
+    assert!(denied > 0, "the strict-posture estimates must be gated");
+    assert!(
+        parse_errors > 0,
+        "the hostile half must include parse errors"
+    );
+
+    let second = run_transcript(&corpus, 1);
+    assert_eq!(first, second, "same corpus, same bytes");
+    let threaded = run_transcript(&corpus, 4);
+    assert_eq!(first, threaded, "thread count must not leak into bytes");
+}
+
+/// A mid-range event budget that only some seeds exceed surfaces
+/// through the wire as a `replication_partial` response naming both
+/// seed sets — not as a bare watchdog abort.
+#[test]
+fn partial_replication_failure_surfaces_through_serve() {
+    // Probe the per-seed event counts of exactly the run the service
+    // performs for {seeds:4, duration_ms:2} on switch-kv.
+    let (scenario, _) = registry::find("switch-kv").expect("registered").build();
+    let duration = Seconds::millis(2.0);
+    let base = SimConfig {
+        duration,
+        warmup: duration.scaled(0.2),
+        ..SimConfig::default()
+    };
+    let rep = Replication::new(4);
+    let counts: Vec<u64> = rep
+        .seeds()
+        .iter()
+        .map(|&seed| {
+            Simulation::builder(&scenario.graph, &scenario.hardware, &scenario.traffic)
+                .config(SimConfig { seed, ..base })
+                .run()
+                .expect("uncapped run completes")
+                .events
+        })
+        .collect();
+    let min = *counts.iter().min().expect("four seeds");
+    let max = *counts.iter().max().expect("four seeds");
+    assert!(
+        min < max,
+        "Poisson replicas must differ in event count: {counts:?}"
+    );
+    let budget = (min + max) / 2;
+
+    let mut service = det_service(1);
+    let out = service.handle_line(&format!(
+        "{{\"id\":\"partial\",\"kind\":\"simulate\",\"graph\":\"switch-kv\",\
+         \"seeds\":4,\"duration_ms\":2,\"max_events\":{budget}}}"
+    ));
+    assert!(
+        out.contains("\"code\":\"replication_partial\""),
+        "budget {budget} between {min} and {max} must split the seeds: {out}"
+    );
+    assert!(out.contains("\"completed_seeds\":["), "{out}");
+    assert!(out.contains("\"failed_seeds\":["), "{out}");
+    lognic::service::json::parse(&out).expect("valid JSON");
+    // And the service keeps serving.
+    let health = service.handle_line("{\"kind\":\"health\"}");
+    assert!(health.contains("\"ok\":true"), "{health}");
+}
